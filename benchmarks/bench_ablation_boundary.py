@@ -1,0 +1,61 @@
+"""Ablation: what the fully-encrypted boundary layers cost.
+
+The paper fully encrypts the first two CONV layers, the last CONV layer
+and the last FC layer so weights cannot be solved from known model I/O
+(Section III-B.1).  This bench quantifies the price: encrypted-traffic
+fraction and SEAL-D IPC with and without the boundary rule, at several
+ratios.
+"""
+
+from repro.core.analysis import summarize_traffic
+from repro.core.plan import ModelEncryptionPlan
+from repro.eval.reporting import ascii_table
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+from repro.sim.runner import run_model
+
+
+def test_ablation_boundary_layers(benchmark, record_report):
+    set_init_rng(0)
+    model = vgg16()
+
+    def sweep():
+        rows = []
+        for ratio in (0.2, 0.5, 0.8):
+            with_boundary = ModelEncryptionPlan.build(model, ratio)
+            without = ModelEncryptionPlan.build(
+                model,
+                ratio,
+                boundary_first_convs=0,
+                boundary_last_conv=False,
+                boundary_last_fc=False,
+            )
+            baseline = run_model(with_boundary, "Baseline").ipc
+            rows.append(
+                (
+                    f"{ratio:.0%}",
+                    summarize_traffic(with_boundary).encrypted_fraction,
+                    summarize_traffic(without).encrypted_fraction,
+                    run_model(with_boundary, "SEAL-D").ipc / baseline,
+                    run_model(without, "SEAL-D").ipc / baseline,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    report = ascii_table(
+        (
+            "ratio",
+            "enc traffic (boundary)",
+            "enc traffic (no boundary)",
+            "SEAL-D IPC (boundary)",
+            "SEAL-D IPC (no boundary)",
+        ),
+        rows,
+    )
+    record_report("ablation_boundary", report)
+
+    for row in rows:
+        # Boundary layers always add encrypted traffic, hence cost IPC.
+        assert row[1] >= row[2]
+        assert row[3] <= row[4] + 0.02

@@ -1,0 +1,69 @@
+"""Ablation: which AES engine you buy determines how much encryption hurts.
+
+Sweeps the five published engines of Table I as the per-memory-controller
+engine and measures full-model Direct-encryption IPC.  The paper's
+bandwidth-gap argument predicts IPC should track aggregate engine
+bandwidth until the bus stops being the bottleneck.
+"""
+
+from repro.core.plan import ModelEncryptionPlan
+from repro.crypto.engine import ENGINE_SURVEY
+from repro.eval.reporting import ascii_table
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+from repro.sim.config import EncryptionConfig, EncryptionMode, GTX480_CONFIG
+from repro.sim.gpu import GpuSimulator
+from repro.sim.runner import run_model, scheme_config
+from repro.sim.workloads import layer_streams
+from repro.core.memory import SecureHeap
+
+
+def _run_with_engine(plan, spec):
+    from repro.sim.runner import fully_encrypted
+
+    config = GTX480_CONFIG.with_encryption(
+        EncryptionConfig(mode=EncryptionMode.DIRECT, selective=False, engine=spec)
+    )
+    total_cycles = 0.0
+    total_instructions = 0
+    for traffic in plan.layer_traffic():
+        simulator = GpuSimulator(config)
+        streams = layer_streams(config, fully_encrypted(traffic), heap=SecureHeap())
+        result = simulator.run(streams)
+        total_cycles += result.cycles
+        total_instructions += result.instructions
+    return total_instructions / total_cycles
+
+
+def test_ablation_engine_choice(benchmark, record_report):
+    set_init_rng(0)
+    plan = ModelEncryptionPlan.build(vgg16(), 0.5)
+
+    def sweep():
+        baseline = run_model(plan, "Baseline").ipc
+        rows = []
+        for spec in ENGINE_SURVEY:
+            ipc = _run_with_engine(plan, spec)
+            rows.append(
+                (
+                    spec.name,
+                    spec.throughput_gbps,
+                    spec.throughput_gbps * GTX480_CONFIG.num_channels,
+                    ipc / baseline,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    report = ascii_table(
+        ("Engine", "GB/s each", "aggregate GB/s", "Direct norm IPC"), rows
+    )
+    record_report("ablation_engines", report)
+
+    by_bandwidth = sorted(rows, key=lambda r: r[1])
+    ipcs = [r[3] for r in by_bandwidth]
+    # Faster engines must never make full encryption slower (monotone up to
+    # the latency outlier: Liu et al. has 152-cycle latency, allow slack).
+    assert ipcs[-1] >= ipcs[0]
+    # Even the fastest surveyed engine cannot fully close the bus gap.
+    assert max(ipcs) < 1.0

@@ -1,0 +1,61 @@
+"""Ablation: encryption ratio vs performance (the other half of §III-B.3).
+
+The paper fixes the ratio at 50% as the smallest value matching black-box
+security.  This bench records what each ratio costs: encrypted-traffic
+fraction and SEAL-D/SEAL-C IPC across the sweep, for all three models.
+"""
+
+from repro.core.analysis import summarize_traffic
+from repro.core.plan import ModelEncryptionPlan
+from repro.eval.reporting import ascii_table
+from repro.nn.layers import set_init_rng
+from repro.nn.models import build_model
+from repro.sim.runner import run_model
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_ablation_ratio_performance(benchmark, record_report):
+    set_init_rng(0)
+
+    def sweep():
+        table = {}
+        for model_name in ("vgg16", "resnet18"):
+            model = build_model(model_name)
+            rows = []
+            baseline = None
+            for ratio in RATIOS:
+                plan = ModelEncryptionPlan.build(model, ratio)
+                if baseline is None:
+                    baseline = run_model(plan, "Baseline").ipc
+                rows.append(
+                    (
+                        f"{ratio:.0%}",
+                        summarize_traffic(plan).encrypted_fraction,
+                        run_model(plan, "SEAL-D").ipc / baseline,
+                        run_model(plan, "SEAL-C").ipc / baseline,
+                    )
+                )
+            table[model_name] = rows
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    parts = []
+    for model_name, rows in table.items():
+        parts.append(
+            f"{model_name}\n"
+            + ascii_table(
+                ("ratio", "enc traffic", "SEAL-D norm IPC", "SEAL-C norm IPC"),
+                rows,
+            )
+        )
+    record_report("ablation_ratio", "\n\n".join(parts))
+
+    for rows in table.values():
+        ipcs = [row[2] for row in rows]
+        # Monotone: more encryption can only cost performance.
+        for low, high in zip(ipcs, ipcs[1:]):
+            assert high <= low + 0.02
+        fractions = [row[1] for row in rows]
+        for low, high in zip(fractions, fractions[1:]):
+            assert high >= low - 1e-6

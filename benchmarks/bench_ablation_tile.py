@@ -1,0 +1,45 @@
+"""Ablation: arithmetic intensity (GEMM tile size) vs encryption damage.
+
+The simulator's tile size controls bytes-moved per MAC, i.e. how
+bandwidth-bound the lowered kernels are.  The paper's effect — encryption
+hurts bandwidth-bound kernels — must strengthen monotonically as tiles
+shrink.  This documents the calibration knob DESIGN.md calls out.
+"""
+
+from repro.eval.reporting import ascii_table
+from repro.sim.runner import run_layer
+from repro.sim.workloads import matmul_traffic
+
+
+def test_ablation_tile_size(benchmark, record_report):
+    traffic = matmul_traffic(768, 768, 768)
+
+    def sweep():
+        rows = []
+        for tile in (16, 32, 64, 128):
+            baseline = run_layer(traffic, "Baseline", tile=tile)
+            direct = run_layer(traffic, "Direct", tile=tile)
+            rows.append(
+                (
+                    tile,
+                    # bytes moved per MAC halves as tiles double
+                    f"{2 * 4 / tile:.3f}",
+                    baseline.ipc,
+                    direct.ipc / baseline.ipc,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    report = ascii_table(
+        ("tile", "bytes/MAC", "Baseline IPC", "Direct norm IPC"), rows
+    )
+    record_report("ablation_tile", report)
+
+    hurt = [row[3] for row in rows]
+    # Bigger tiles -> more reuse -> less bandwidth-bound -> less damage.
+    for smaller, larger in zip(hurt, hurt[1:]):
+        assert larger >= smaller - 0.03
+    # Tiny tiles must show severe degradation, huge tiles near-none.
+    assert hurt[0] < 0.6
+    assert hurt[-1] > 0.8

@@ -1,0 +1,47 @@
+"""Figure 1: straightforward memory encryption on matrix multiplication.
+
+(a) GPU IPC under Baseline / Direct / Counter with counter caches of
+    24–1536 KB; (b) counter-cache hit rate versus size.
+
+Paper shapes: encryption reduces matmul IPC by 45–54%; Counter is no
+faster than Direct; hit rate rises with cache size.
+"""
+
+import pytest
+
+from repro.eval.experiments import fig1_straightforward
+
+
+@pytest.fixture(scope="module")
+def shape(request):
+    import os
+
+    if os.environ.get("SEAL_BENCH_SCALE") == "full":
+        return (1024, 1024, 1024)
+    return (768, 768, 768)
+
+
+def test_fig1_ipc_and_counter_cache(benchmark, record_report, shape):
+    result = benchmark.pedantic(
+        fig1_straightforward,
+        kwargs={"matmul_shape": shape, "cache_sizes_kb": (24, 96, 384, 1536)},
+        iterations=1,
+        rounds=1,
+    )
+    record_report("fig1_straightforward", result.report())
+
+    baseline = result.ipc["Baseline"]
+    direct = result.ipc["Direct"]
+    # Paper §II-B: memory encryption decreases matmul IPC by 45-54%.
+    assert 0.35 <= direct / baseline <= 0.70
+    for key, value in result.ipc.items():
+        if key.startswith("Ctr-"):
+            # Counter mode does not outperform direct encryption (paper's
+            # second observation on Figure 1).
+            assert value <= baseline
+            assert value / direct == pytest.approx(1.0, abs=0.25)
+    # Figure 1b: hit rate must not decrease with cache size.
+    sizes = sorted(result.hit_rates)
+    rates = [result.hit_rates[s] for s in sizes]
+    for small, large in zip(rates, rates[1:]):
+        assert large >= small - 0.02

@@ -1,0 +1,41 @@
+"""Figure 4: security against adversarial attacks — transferability.
+
+Uses the substitutes built for Figure 3 (shared fixture) to craft I-FGSM
+adversarial examples and measures how many transfer to the victim.
+
+Paper shapes: white-box transfers near-perfectly; black-box sits low
+(~20%); SEAL transferability approaches (or undercuts) black-box once the
+encryption ratio reaches ~50%, and rises sharply below ~40%.
+"""
+
+def test_fig4_transferability(benchmark, record_report, security_sweep):
+    result = benchmark.pedantic(lambda: security_sweep, iterations=1, rounds=1)
+
+    lines = []
+    for model_name, outcome in result.outcomes.items():
+        for key, transfer in outcome.transferability.items():
+            lines.append(
+                f"{model_name:10s} {key:12s} transfer={transfer.transferability:.3f} "
+                f"(substitute success {transfer.substitute_success_rate:.2f})"
+            )
+    record_report("fig4_transferability", "\n".join(lines))
+
+    for model_name, outcome in result.outcomes.items():
+        white = outcome.transferability["white-box"].transferability
+        black = outcome.transferability["black-box"].transferability
+        # White-box adversarial examples transfer essentially perfectly
+        # (they are crafted on the victim itself).
+        assert white > 0.9, model_name
+        # Black-box transferability is far below white-box (paper: ~20%).
+        assert black < white - 0.3, model_name
+        # SEAL at the highest swept ratio must not transfer meaningfully
+        # better than black-box.
+        ratios = sorted(
+            float(k.split("@")[1])
+            for k in outcome.transferability
+            if k.startswith("seal@")
+        )
+        high_key = outcome.seal_key(ratios[-1])
+        assert (
+            outcome.transferability[high_key].transferability <= black + 0.2
+        ), model_name

@@ -1,0 +1,31 @@
+"""Figure 5: normalized IPC of four typical VGG CONV layers.
+
+The paper evaluates CONV layers with 64/128/256/512 input=output channels
+at encryption ratio 50%.  Shapes: Direct/Counter cost up to ~40% IPC;
+SEAL-D/SEAL-C recover a large fraction of it (paper: +39%/+33% on average
+over Direct/Counter).
+"""
+
+from repro.eval.experiments import fig5_conv_layers
+
+
+def test_fig5_conv_layers(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig5_conv_layers, kwargs={"ratio": 0.5}, iterations=1, rounds=1
+    )
+    summary = (
+        f"\nmean SEAL-D / Direct  = {result.improvement_over('SEAL-D', 'Direct'):.2f}x"
+        f"  (paper: 1.39x)"
+        f"\nmean SEAL-C / Counter = {result.improvement_over('SEAL-C', 'Counter'):.2f}x"
+        f"  (paper: 1.33x)"
+    )
+    record_report("fig5_conv_layers", result.report() + summary)
+
+    for value in result.normalized_ipc["Direct"]:
+        assert value < 1.0  # full encryption always costs IPC
+    assert result.improvement_over("SEAL-D", "Direct") > 1.1
+    assert result.improvement_over("SEAL-C", "Counter") > 1.1
+    # SEAL never exceeds the unencrypted baseline.
+    for scheme in ("SEAL-D", "SEAL-C"):
+        for value in result.normalized_ipc[scheme]:
+            assert value <= 1.01

@@ -1,0 +1,47 @@
+"""Figure 6: normalized IPC of the five VGG POOL layers.
+
+POOL layers are the most bandwidth-bound kernels, so full encryption hurts
+them hardest (paper: up to −50%, worse than CONV), and SEAL recovers the
+most (paper: SEAL-D +66%, SEAL-C +44% over Direct/Counter).
+"""
+
+from repro.eval.experiments import fig5_conv_layers, fig6_pool_layers
+
+
+def test_fig6_pool_layers(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig6_pool_layers, kwargs={"ratio": 0.5}, iterations=1, rounds=1
+    )
+    summary = (
+        f"\nmean SEAL-D / Direct  = {result.improvement_over('SEAL-D', 'Direct'):.2f}x"
+        f"  (paper: 1.66x)"
+        f"\nmean SEAL-C / Counter = {result.improvement_over('SEAL-C', 'Counter'):.2f}x"
+        f"  (paper: 1.44x)"
+    )
+    record_report("fig6_pool_layers", result.report() + summary)
+
+    # Full encryption bites pools hard (paper: up to -50%).
+    assert min(result.normalized_ipc["Direct"]) < 0.65
+    assert result.improvement_over("SEAL-D", "Direct") > 1.2
+
+
+def test_fig6_pools_more_bandwidth_bound_than_convs(benchmark, record_report):
+    """The paper's cross-figure claim: POOL suffers more than CONV under
+    full encryption because pooling is more bandwidth-bound."""
+
+    def run_both():
+        return fig5_conv_layers(ratio=0.5), fig6_pool_layers(ratio=0.5)
+
+    convs, pools = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    conv_mean = sum(convs.normalized_ipc["Direct"]) / len(
+        convs.normalized_ipc["Direct"]
+    )
+    pool_mean = sum(pools.normalized_ipc["Direct"]) / len(
+        pools.normalized_ipc["Direct"]
+    )
+    record_report(
+        "fig6_pool_vs_conv",
+        f"mean normalized IPC under Direct: CONV={conv_mean:.3f} POOL={pool_mean:.3f}"
+        f" (paper: POOL suffers more)",
+    )
+    assert pool_mean < conv_mean

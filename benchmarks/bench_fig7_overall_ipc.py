@@ -1,0 +1,34 @@
+"""Figure 7: overall IPC for full VGG-16/ResNet-18/ResNet-34 inference.
+
+Paper shapes: Direct/Counter reduce IPC by 30–38%; ResNets suffer less
+than VGG (smaller bandwidth demand); SEAL-D/SEAL-C improve IPC by ~1.4x /
+~1.34x over Direct/Counter.
+"""
+
+from repro.eval.experiments import fig7_overall_ipc
+
+
+def test_fig7_overall_ipc(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig7_overall_ipc,
+        kwargs={"models": ("vgg16", "resnet18", "resnet34"), "ratio": 0.5},
+        iterations=1,
+        rounds=1,
+    )
+    summary = (
+        f"\nmean SEAL-D / Direct  = {result.seal_speedup('D'):.2f}x (paper: 1.40x)"
+        f"\nmean SEAL-C / Counter = {result.seal_speedup('C'):.2f}x (paper: 1.34x)"
+    )
+    record_report("fig7_overall_ipc", result.report() + summary)
+
+    vgg, rn18, rn34 = 0, 1, 2
+    # Full encryption costs substantial IPC on every model.
+    for index in (vgg, rn18, rn34):
+        assert result.normalized_ipc["Direct"][index] < 0.8
+        assert result.normalized_ipc["Counter"][index] < 0.8
+    # ResNets are less bandwidth-hungry than VGG (paper's explanation for
+    # Direct/Counter performing better on ResNets).
+    assert result.normalized_ipc["Direct"][rn18] >= result.normalized_ipc["Direct"][vgg]
+    # SEAL's headline gains.
+    assert 1.15 <= result.seal_speedup("D") <= 1.8
+    assert 1.15 <= result.seal_speedup("C") <= 1.8

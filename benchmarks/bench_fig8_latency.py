@@ -1,0 +1,36 @@
+"""Figure 8: inference latency normalized to Baseline.
+
+Paper shapes: Direct/Counter increase inference latency by 39–60%; SEAL-D
+and SEAL-C cut latency by ~28%/~26% relative to Direct/Counter.
+"""
+
+from repro.eval.experiments import fig8_latency
+
+
+def test_fig8_inference_latency(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig8_latency,
+        kwargs={"models": ("vgg16", "resnet18", "resnet34"), "ratio": 0.5},
+        iterations=1,
+        rounds=1,
+    )
+    summary = (
+        f"\nmean latency reduction SEAL-D vs Direct  = "
+        f"{result.latency_reduction('D'):.1%} (paper: 28%)"
+        f"\nmean latency reduction SEAL-C vs Counter = "
+        f"{result.latency_reduction('C'):.1%} (paper: 26%)"
+    )
+    record_report("fig8_latency", result.report(metric="latency") + summary)
+
+    for index in range(3):
+        # Full encryption lengthens inference.
+        assert result.normalized_latency["Direct"][index] > 1.2
+        assert result.normalized_latency["Counter"][index] > 1.2
+        # SEAL sits between Baseline and full encryption.
+        assert 1.0 <= result.normalized_latency["SEAL-D"][index]
+        assert (
+            result.normalized_latency["SEAL-D"][index]
+            < result.normalized_latency["Direct"][index]
+        )
+    assert 0.1 <= result.latency_reduction("D") <= 0.45
+    assert 0.1 <= result.latency_reduction("C") <= 0.45

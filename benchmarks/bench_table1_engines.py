@@ -1,0 +1,28 @@
+"""Table I: performance comparison of hardware AES engine implementations.
+
+Regenerates the survey table and sanity-checks the derived service rates
+the simulator uses (bytes/cycle at the GTX480 core clock).
+"""
+
+from repro.crypto.engine import ENGINE_SURVEY, AesEngineModel
+from repro.eval.experiments import table1_engines
+from repro.eval.reporting import ascii_table
+
+
+def test_table1_engine_survey(benchmark, record_report):
+    result = benchmark.pedantic(table1_engines, iterations=1, rounds=1)
+    report = result.report()
+
+    # Derived service-rate table (what the paper's bandwidth-gap argument
+    # turns into inside the simulator).
+    rows = []
+    for spec in ENGINE_SURVEY:
+        engine = AesEngineModel(spec, clock_ghz=0.7)
+        cycles_per_line = 128 / engine.bytes_per_cycle + spec.latency_cycles
+        rows.append((spec.name, f"{engine.bytes_per_cycle:.2f}", f"{cycles_per_line:.1f}"))
+    derived = ascii_table(
+        ("Implementation", "bytes/core-cycle", "cycles per 128B line"), rows
+    )
+    record_report("table1_engines", report + "\n\nDerived service rates @0.7GHz\n" + derived)
+
+    assert len(result.rows) == 5

@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+rendered rows/series to ``benchmarks/out/<name>.txt`` (also echoed to the
+terminal) so the recorded artefacts can be compared against the paper.
+
+Scaling: set ``SEAL_BENCH_SCALE=full`` for the paper-scale security sweep
+(slower); the default ``quick`` settings preserve every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("SEAL_BENCH_SCALE", "quick")
+
+
+@pytest.fixture()
+def record_report(request):
+    """Return a callable that persists a report under benchmarks/out/."""
+
+    def write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def security_sweep():
+    """The Figure-3/Figure-4 substitute sweep (shared: it is by far the most
+    expensive artefact, so both benches consume one session-scoped run)."""
+    from repro.attacks.substitute import SubstituteConfig
+    from repro.eval.experiments import fig3_fig4_security
+
+    full = os.environ.get("SEAL_BENCH_SCALE") == "full"
+    ratios_full = (0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
+    ratios_quick = (0.8, 0.5, 0.2)
+    return fig3_fig4_security(
+        models=("vgg16", "resnet18", "resnet34") if full else ("vgg16",),
+        ratios=ratios_full if full else ratios_quick,
+        width_scale=0.125,
+        train_size=3000 if full else 1200,
+        test_size=500 if full else 300,
+        victim_epochs=12 if full else 10,
+        substitute=SubstituteConfig(
+            augmentation_rounds=3 if full else 2,
+            epochs=8 if full else 5,
+            max_samples=4000 if full else 1600,
+            freeze_known=False,
+        ),
+        transfer_examples=200 if full else 60,
+        measure_transfer=True,
+    )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Play the adversary: bus snooping, substitute models, adversarial attacks.
+
+Reproduces the paper's Section III-B story at demo scale:
+
+* the **white-box** adversary (no encryption) gets the victim verbatim;
+* the **black-box** adversary (full encryption) retrains from queries;
+* the **SEAL** adversary gets the plaintext (non-critical) weights and
+  fine-tunes the rest — and ends up no better than black-box once the
+  encryption ratio is high enough.
+
+Run:  python examples/model_extraction_attack.py
+"""
+
+from repro.attacks import (
+    IfgsmConfig,
+    SubstituteConfig,
+    black_box_substitute,
+    measure_transferability,
+    seal_substitute,
+    white_box_substitute,
+)
+from repro.core import SealScheme
+from repro.eval.reporting import ascii_table
+from repro.nn import (
+    Adam,
+    SyntheticCIFAR10,
+    evaluate,
+    fit,
+    set_init_rng,
+    train_adversary_split,
+    vgg16,
+)
+
+
+def builder():
+    set_init_rng(99)
+    return vgg16(width_scale=0.125)
+
+
+def main() -> None:
+    generator = SyntheticCIFAR10(noise=0.2)
+    train_set, test_set = generator.standard_splits(train_size=1000, test_size=250)
+    victim_set, adversary_seed = train_adversary_split(train_set)
+
+    print("Training the victim (90% of the data, as in the paper)...")
+    set_init_rng(0)
+    victim = vgg16(width_scale=0.125)
+    fit(victim, victim_set, Adam(list(victim.parameters()), lr=2e-3),
+        epochs=8, batch_size=64)
+    victim_accuracy = evaluate(victim, test_set)
+    print(f"victim accuracy: {victim_accuracy:.3f}")
+
+    config = SubstituteConfig(augmentation_rounds=2, epochs=5, max_samples=1500)
+    attack = IfgsmConfig(epsilon=0.08, alpha=0.01, iterations=15)
+
+    substitutes = {"white-box": white_box_substitute(victim)}
+    print("\nBuilding the black-box substitute (full encryption)...")
+    substitutes["black-box"] = black_box_substitute(
+        builder, victim, adversary_seed, config
+    )
+    for ratio in (0.2, 0.5):
+        print(f"Building the SEAL substitute at encryption ratio {ratio:.0%}...")
+        snooped = SealScheme(victim, ratio).snooped_view()
+        substitutes[f"SEAL@{ratio:.0%}"] = seal_substitute(
+            builder, victim, snooped, adversary_seed, config
+        )
+
+    print("\nEvaluating IP stealing (Fig. 3) and transferability (Fig. 4)...")
+    rows = []
+    for label, result in substitutes.items():
+        accuracy = evaluate(result.model, test_set)
+        transfer = measure_transferability(
+            result.model, victim, test_set,
+            num_examples=100, config=attack,
+            substitute_kind=result.kind, ratio=result.ratio,
+        )
+        rows.append(
+            (
+                label,
+                f"{accuracy:.3f}",
+                f"{transfer.transferability:.2f}",
+                result.queries,
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ("adversary", "substitute accuracy", "transferability", "queries"),
+            rows,
+        )
+    )
+    print(
+        "\nPaper shape (Figures 3-4): white-box tops both columns; SEAL at"
+        "\n50% sits at the black-box level (the argument for the 50%"
+        "\ndefault), and lower ratios leak more.  At this demo's tiny query"
+        "\nbudget the frozen-weight fine-tuning of the paper's adversary can"
+        "\nfail to exploit the low-ratio leak — rerun with larger budgets"
+        "\n(SEAL_BENCH_SCALE=full on the fig3 bench) or the stronger"
+        "\ninit-only adversary (SubstituteConfig(freeze_known=False))."
+    )
+
+
+if __name__ == "__main__":
+    main()

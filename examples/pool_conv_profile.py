@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Per-layer profile: where encryption hurts and where SEAL helps.
+
+Walks every CONV/FC/POOL layer of VGG-16 and reports its arithmetic
+intensity, encrypted-traffic fraction under the 50% SEAL plan, and the
+simulated normalized IPC under Direct versus SEAL-D.  Shows the paper's
+Figure 5/6 mechanism layer by layer: the more bandwidth-bound a layer, the
+more full encryption costs and the more SEAL recovers.
+
+Run:  python examples/pool_conv_profile.py
+"""
+
+from repro.core import ModelEncryptionPlan
+from repro.eval.reporting import ascii_table
+from repro.nn import vgg16
+from repro.sim import run_layer
+
+
+def main() -> None:
+    plan = ModelEncryptionPlan.build(vgg16(), ratio=0.5)
+    rows = []
+    for traffic in plan.layer_traffic():
+        baseline = run_layer(traffic, "Baseline")
+        direct = run_layer(traffic, "Direct")
+        seal = run_layer(traffic, "SEAL-D")
+        intensity = traffic.macs / traffic.total_bytes if traffic.total_bytes else 0
+        rows.append(
+            (
+                traffic.name,
+                traffic.kind,
+                f"{intensity:.1f}",
+                f"{traffic.encrypted_fraction:.0%}",
+                f"{direct.ipc / baseline.ipc:.2f}",
+                f"{seal.ipc / baseline.ipc:.2f}",
+            )
+        )
+    print(
+        ascii_table(
+            (
+                "layer",
+                "kind",
+                "MACs/byte",
+                "SEAL enc. traffic",
+                "Direct norm IPC",
+                "SEAL-D norm IPC",
+            ),
+            rows,
+        )
+    )
+    pools = [r for r in rows if r[1] == "pool"]
+    convs = [r for r in rows if r[1] == "conv"]
+    pool_mean = sum(float(r[4]) for r in pools) / len(pools)
+    conv_mean = sum(float(r[4]) for r in convs) / len(convs)
+    print(
+        f"\nmean Direct normalized IPC: CONV {conv_mean:.2f} vs POOL {pool_mean:.2f} "
+        "- pooling's low MACs/byte is exactly why Figure 6 is worse than Figure 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

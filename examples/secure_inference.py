@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Secure inference end to end: train, protect, lay out memory, encrypt.
+
+This example walks the full deployment story of the paper:
+
+1. train a (width-scaled) VGG-16 victim on the synthetic CIFAR-10 task;
+2. build the SEAL plan and place weights into ``emalloc``/``malloc``
+   regions of the accelerator heap;
+3. functionally encrypt one critical weight region with the real AES
+   datapath and show a bus snooper sees only ciphertext;
+4. run the performance simulation for the protected model.
+
+Run:  python examples/secure_inference.py
+"""
+
+import numpy as np
+
+from repro.core import SealScheme
+from repro.eval.reporting import ascii_table
+from repro.nn import Adam, SyntheticCIFAR10, evaluate, fit, set_init_rng, vgg16
+from repro.sim import run_model
+
+
+def main() -> None:
+    print("=== 1. Train the victim model ===")
+    generator = SyntheticCIFAR10(noise=0.2)
+    train_set, test_set = generator.standard_splits(train_size=800, test_size=200)
+    set_init_rng(0)
+    victim = vgg16(width_scale=0.125)
+    fit(
+        victim,
+        train_set,
+        Adam(list(victim.parameters()), lr=2e-3),
+        epochs=6,
+        batch_size=64,
+        eval_set=test_set,
+        verbose=True,
+    )
+    print(f"victim accuracy: {evaluate(victim, test_set):.3f}")
+
+    print()
+    print("=== 2. Build the SEAL plan and the memory layout ===")
+    scheme = SealScheme(victim, ratio=0.5, mode="counter")
+    heap, layouts = scheme.layout()
+    print(scheme.plan.summary())
+    print(
+        f"\nheap: {heap.used_bytes / 1024:.0f} KB total, "
+        f"{heap.encrypted_bytes / 1024:.0f} KB emalloc'd (encrypted), "
+        f"{heap.plaintext_bytes / 1024:.0f} KB malloc'd (bypass)"
+    )
+
+    print()
+    print("=== 3. Functional encryption on the bus ===")
+    layer = scheme.plan.selective_layers[0]
+    named = dict(victim.named_parameters())
+    weights = named[f"{layer.name}.weight"].data
+    mask = scheme.plan.weight_masks()[layer.name]
+    critical = np.ascontiguousarray(weights[mask][:32], dtype=np.float32)
+    plaintext = critical.tobytes()
+    region = next(l.encrypted_weights for l in layouts if l.name == layer.name)
+    ciphertext = scheme.encrypt_line(region.address, plaintext, counter=0)
+    print(f"layer {layer.name}: first critical weights -> {critical[:4]}")
+    print(f"bus snooper sees  : {ciphertext[:16].hex()}...")
+    recovered = np.frombuffer(
+        scheme.decrypt_line(region.address, ciphertext, counter=0), dtype=np.float32
+    )
+    assert np.array_equal(recovered, critical)
+    print("accelerator (with key) recovers the exact weights: OK")
+
+    print()
+    print("=== 4. Performance of the protected accelerator ===")
+    rows = []
+    baseline = None
+    for scheme_name in ("Baseline", "Counter", "SEAL-C"):
+        result = run_model(scheme.plan, scheme_name)
+        if baseline is None:
+            baseline = result
+        rows.append(
+            (scheme_name, f"{result.ipc:.2f}", f"{result.ipc / baseline.ipc:.2f}")
+        )
+    print(ascii_table(("scheme", "IPC", "normalized"), rows))
+    print(
+        "\nSEAL-C recovers most of the IPC that full counter-mode "
+        "encryption costs, at the same security level (paper §III-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

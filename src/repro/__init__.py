@@ -1,0 +1,55 @@
+"""SEAL: criticality-aware selective memory encryption for DL accelerators.
+
+Reproduction of Zuo et al., "SEALing Neural Network Models in Encrypted
+Deep Learning Accelerators", DAC 2021.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: l1-norm kernel-row criticality analysis,
+    smart-encryption planning, the ``emalloc`` secure heap.
+``repro.nn``
+    Numpy deep-learning substrate (autograd, VGG/ResNet models, training,
+    synthetic CIFAR-10).
+``repro.crypto``
+    FIPS-197 AES, direct/counter memory-encryption modes, counter cache,
+    hardware-engine performance models (Table I).
+``repro.sim``
+    GPGPU-Sim-style cycle-level GPU + encrypted-memory-system simulator
+    (GTX480 configuration of the paper).
+``repro.attacks``
+    Bus-snooping adversary: substitute models, Jacobian augmentation,
+    I-FGSM, transferability.
+``repro.eval``
+    One entry point per paper table/figure.
+
+Quick start
+-----------
+>>> from repro.nn import vgg16
+>>> from repro.core import SealScheme
+>>> scheme = SealScheme(vgg16(width_scale=0.25), ratio=0.5)
+>>> 0.5 <= scheme.plan.realized_ratio <= 1.0
+True
+"""
+
+from . import attacks, core, crypto, eval, nn, sim
+from .core import DEFAULT_ENCRYPTION_RATIO, ModelEncryptionPlan, SealScheme
+from .sim import SCHEMES, compare_schemes, run_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "core",
+    "crypto",
+    "eval",
+    "nn",
+    "sim",
+    "DEFAULT_ENCRYPTION_RATIO",
+    "ModelEncryptionPlan",
+    "SealScheme",
+    "SCHEMES",
+    "compare_schemes",
+    "run_model",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Model-extraction and adversarial-attack substrate (Sections III-B)."""
+
+from .adversarial import AdversarialBatch, IfgsmConfig, craft_adversarial_batch, ifgsm
+from .augmentation import AugmentationResult, jacobian_augment, jacobian_step
+from .security import (
+    PAPER_RATIOS,
+    SecurityExperimentConfig,
+    SecurityOutcome,
+    run_security_experiment,
+)
+from .substitute import (
+    SubstituteConfig,
+    SubstituteResult,
+    black_box_substitute,
+    make_query_fn,
+    seal_substitute,
+    train_substitute,
+    white_box_substitute,
+)
+from .transferability import TransferResult, measure_transferability
+
+__all__ = [
+    "AdversarialBatch",
+    "IfgsmConfig",
+    "craft_adversarial_batch",
+    "ifgsm",
+    "AugmentationResult",
+    "jacobian_augment",
+    "jacobian_step",
+    "PAPER_RATIOS",
+    "SecurityExperimentConfig",
+    "SecurityOutcome",
+    "run_security_experiment",
+    "SubstituteConfig",
+    "SubstituteResult",
+    "black_box_substitute",
+    "make_query_fn",
+    "seal_substitute",
+    "train_substitute",
+    "white_box_substitute",
+    "TransferResult",
+    "measure_transferability",
+]

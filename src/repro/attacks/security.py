@@ -1,0 +1,189 @@
+"""End-to-end security experiments: Figures 3 and 4 of the paper.
+
+One experiment instance trains a victim on its private 90% split, builds
+the adversary's substitutes (white-box, black-box, SEAL at a sweep of
+encryption ratios) from the 10% query seed, and evaluates both attack
+goals:
+
+* **IP stealing** (Figure 3): test-set accuracy of each substitute.
+* **Adversarial attacks** (Figure 4): transferability of I-FGSM examples
+  crafted on each substitute.
+
+Substitute training is the expensive part, so the harness shares the
+trained substitutes between both measurements.
+
+Scaled-down defaults (width-scaled models, synthetic CIFAR-10, small query
+budgets) keep a full three-model sweep tractable in pure numpy; every knob
+is exposed for larger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.seal import SealScheme
+from ..nn.data import Dataset, SyntheticCIFAR10, train_adversary_split
+from ..nn.layers import Module, set_init_rng
+from ..nn.models import build_model
+from ..nn.optim import Adam
+from ..nn.training import evaluate, fit
+from .adversarial import IfgsmConfig
+from .substitute import (
+    SubstituteConfig,
+    SubstituteResult,
+    black_box_substitute,
+    seal_substitute,
+    white_box_substitute,
+)
+from .transferability import TransferResult, measure_transferability
+
+__all__ = ["SecurityExperimentConfig", "SecurityOutcome", "run_security_experiment"]
+
+#: The ratio sweep of Figures 3 and 4 (90% … 10%).
+PAPER_RATIOS = (0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
+
+
+def _default_substitute_config() -> SubstituteConfig:
+    # The security-relevant measurement is the *strongest* attack.  At our
+    # scaled-down query budgets the paper's frozen-known-weights adversary
+    # cannot exploit the low-ratio leak (the frozen values constrain
+    # optimisation more than they inform it), whereas the init-only variant
+    # — copy the snooped plaintext, fine-tune everything — reproduces the
+    # paper's Figure-3 trend.  Pass freeze_known=True to evaluate the
+    # paper's exact adversary instead.
+    return SubstituteConfig(freeze_known=False)
+
+
+@dataclass(frozen=True)
+class SecurityExperimentConfig:
+    """Everything one Figure-3/Figure-4 run needs."""
+
+    model: str = "vgg16"
+    width_scale: float = 0.125
+    ratios: tuple[float, ...] = PAPER_RATIOS
+    train_size: int = 1500
+    test_size: int = 400
+    victim_epochs: int = 12
+    victim_lr: float = 2e-3
+    substitute: SubstituteConfig = field(default_factory=_default_substitute_config)
+    ifgsm: IfgsmConfig = field(default_factory=IfgsmConfig)
+    transfer_examples: int = 150
+    dataset_seed: int = 7
+    seed: int = 0
+
+
+@dataclass
+class SecurityOutcome:
+    """Results of one experiment (accuracy = Fig. 3, transfer = Fig. 4)."""
+
+    model: str
+    victim_accuracy: float
+    accuracy: dict[str, float]  # "white-box" | "black-box" | "seal@0.50" …
+    transferability: dict[str, TransferResult]
+    substitutes: dict[str, SubstituteResult] = field(repr=False, default_factory=dict)
+
+    @staticmethod
+    def seal_key(ratio: float) -> str:
+        return f"seal@{ratio:.2f}"
+
+    def accuracy_series(self) -> list[tuple[str, float]]:
+        """(label, accuracy) rows in the paper's figure order."""
+        rows = [("white-box", self.accuracy["white-box"])]
+        rows += [
+            (key, value)
+            for key, value in sorted(
+                ((k, v) for k, v in self.accuracy.items() if k.startswith("seal@")),
+                key=lambda item: -float(item[0].split("@")[1]),
+            )
+        ]
+        rows.append(("black-box", self.accuracy["black-box"]))
+        return rows
+
+
+def _train_victim(
+    model: Module, train_set: Dataset, test_set: Dataset, config: SecurityExperimentConfig
+) -> float:
+    optimizer = Adam(list(model.parameters()), lr=config.victim_lr)
+    fit(
+        model,
+        train_set,
+        optimizer,
+        epochs=config.victim_epochs,
+        batch_size=config.substitute.batch_size,
+        seed=config.seed,
+    )
+    return evaluate(model, test_set)
+
+
+def run_security_experiment(
+    config: SecurityExperimentConfig = SecurityExperimentConfig(),
+    *,
+    measure_transfer: bool = True,
+    verbose: bool = False,
+) -> SecurityOutcome:
+    """Run one full Figure-3 (+ optionally Figure-4) experiment."""
+
+    def builder() -> Module:
+        return build_model(config.model, width_scale=config.width_scale)
+
+    generator = SyntheticCIFAR10(seed=config.dataset_seed)
+    train_set, test_set = generator.standard_splits(
+        train_size=config.train_size, test_size=config.test_size
+    )
+    victim_set, adversary_seed = train_adversary_split(train_set, seed=config.seed)
+
+    set_init_rng(config.seed)
+    victim = builder()
+    victim_accuracy = _train_victim(victim, victim_set, test_set, config)
+    if verbose:
+        print(f"victim {config.model} accuracy: {victim_accuracy:.3f}")
+
+    substitutes: dict[str, SubstituteResult] = {}
+    substitutes["white-box"] = white_box_substitute(victim)
+    set_init_rng(config.seed + 1)
+    substitutes["black-box"] = black_box_substitute(
+        builder, victim, adversary_seed, config.substitute
+    )
+    for offset, ratio in enumerate(config.ratios):
+        scheme = SealScheme(victim, ratio)
+        set_init_rng(config.seed + 2 + offset)
+        substitutes[SecurityOutcome.seal_key(ratio)] = seal_substitute(
+            builder, victim, scheme.snooped_view(), adversary_seed, config.substitute
+        )
+        if verbose:
+            key = SecurityOutcome.seal_key(ratio)
+            print(f"built {key} (queries={substitutes[key].queries})")
+
+    accuracy = {
+        key: result.accuracy_on(test_set) for key, result in substitutes.items()
+    }
+    if verbose:
+        for key, value in accuracy.items():
+            print(f"accuracy[{key}] = {value:.3f}")
+
+    transferability: dict[str, TransferResult] = {}
+    if measure_transfer:
+        for key, result in substitutes.items():
+            ratio = result.ratio
+            transferability[key] = measure_transferability(
+                result.model,
+                victim,
+                test_set,
+                num_examples=config.transfer_examples,
+                config=config.ifgsm,
+                substitute_kind=result.kind,
+                ratio=ratio,
+                seed=config.seed,
+            )
+            if verbose:
+                print(f"transfer[{key}] = {transferability[key].transferability:.3f}")
+
+    return SecurityOutcome(
+        model=config.model,
+        victim_accuracy=victim_accuracy,
+        accuracy=accuracy,
+        transferability=transferability,
+        substitutes=substitutes,
+    )

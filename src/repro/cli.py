@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``plan``       build and print a smart-encryption plan (optionally save JSON)
+``simulate``   run a model under the five schemes on the GTX480 model
+``snoop``      summarize what a bus adversary learns at a given ratio
+``table1``     print the AES engine survey
+``figure``     regenerate one of the paper's performance figures (1/5/6/7/8)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.analysis import summarize_traffic
+from .core.plan import ModelEncryptionPlan
+from .core.seal import SealScheme
+from .core.serialize import save_plan
+from .eval.reporting import ascii_table
+from .nn.models import MODEL_BUILDERS, build_model
+from .sim.runner import SCHEMES, run_model
+
+__all__ = ["main"]
+
+
+def _build(args: argparse.Namespace) -> tuple[object, ModelEncryptionPlan]:
+    kwargs = {}
+    if args.width_scale != 1.0:
+        kwargs["width_scale"] = args.width_scale
+    model = build_model(args.model, **kwargs)
+    plan = ModelEncryptionPlan.build(model, args.ratio)
+    return model, plan
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    _, plan = _build(args)
+    print(plan.summary())
+    print()
+    print(summarize_traffic(plan))
+    if args.output:
+        save_plan(plan, args.output)
+        print(f"plan saved to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    _, plan = _build(args)
+    schemes = args.schemes.split(",") if args.schemes else list(SCHEMES)
+    rows = []
+    baseline = None
+    for scheme in schemes:
+        result = run_model(plan, scheme)
+        if baseline is None:
+            baseline = result
+        rows.append(
+            (
+                scheme,
+                f"{result.ipc:.2f}",
+                f"{result.ipc / baseline.ipc:.3f}",
+                f"{result.cycles / baseline.cycles:.3f}",
+                f"{result.latency_seconds() * 1e3:.2f}",
+            )
+        )
+    print(f"{plan.model_name} @ ratio {plan.ratio:.0%} on GTX480")
+    print(
+        ascii_table(
+            ("scheme", "IPC", "norm IPC", "norm latency", "latency (ms)"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_snoop(args: argparse.Namespace) -> int:
+    model, _ = _build(args)
+    scheme = SealScheme(model, args.ratio)
+    view = scheme.snooped_view()
+    print(
+        f"{view.model_name} @ ratio {args.ratio:.0%}: adversary sees "
+        f"{view.known_fraction():.1%} of kernel weights in plaintext"
+    )
+    rows = []
+    for layer in scheme.plan.layers:
+        rows.append(
+            (
+                layer.name,
+                layer.kind,
+                layer.n_rows,
+                int(layer.row_mask.sum()),
+                "boundary" if layer.fully_encrypted else "",
+            )
+        )
+    print(ascii_table(("layer", "kind", "rows", "encrypted rows", ""), rows))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from .eval.experiments import table1_engines
+
+    print(table1_engines().report())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .eval import experiments
+
+    dispatch = {
+        "1": lambda: experiments.fig1_straightforward().report(),
+        "5": lambda: experiments.fig5_conv_layers().report(),
+        "6": lambda: experiments.fig6_pool_layers().report(),
+        "7": lambda: experiments.fig7_overall_ipc().report(),
+        "8": lambda: experiments.fig8_latency().report(metric="latency"),
+    }
+    if args.number not in dispatch:
+        print(
+            f"figure {args.number} not supported here "
+            "(figures 3-4 run via benchmarks/bench_fig3_ip_stealing.py)",
+            file=sys.stderr,
+        )
+        return 2
+    print(dispatch[args.number]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEAL (DAC'21) reproduction: smart encryption for DL accelerators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--model", default="vgg16", choices=sorted(MODEL_BUILDERS),
+            help="model architecture",
+        )
+        p.add_argument("--ratio", type=float, default=0.5, help="encryption ratio")
+        p.add_argument(
+            "--width-scale", type=float, default=1.0,
+            help="channel-width scale factor (training-scale models use <1)",
+        )
+
+    p_plan = sub.add_parser("plan", help="build and print a SEAL plan")
+    add_model_args(p_plan)
+    p_plan.add_argument("--output", help="write the plan as JSON")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_sim = sub.add_parser("simulate", help="simulate schemes on the GTX480 model")
+    add_model_args(p_sim)
+    p_sim.add_argument(
+        "--schemes", help=f"comma-separated subset of {','.join(SCHEMES)}"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_snoop = sub.add_parser("snoop", help="what a bus adversary learns")
+    add_model_args(p_snoop)
+    p_snoop.set_defaults(func=_cmd_snoop)
+
+    p_table = sub.add_parser("table1", help="AES engine survey (Table I)")
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_fig = sub.add_parser("figure", help="regenerate a performance figure")
+    p_fig.add_argument("number", choices=["1", "5", "6", "7", "8"])
+    p_fig.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""SEAL core: criticality-aware smart encryption (the paper's contribution)."""
+
+from .analysis import TrafficSummary, per_layer_encrypted_fraction, summarize_traffic
+from .importance import (
+    fc_row_l1,
+    importance_profile,
+    kernel_row_l1,
+    rank_rows,
+    select_encrypted_rows,
+)
+from .memory import Allocation, HeapError, SecureHeap
+from .plan import (
+    DEFAULT_ENCRYPTION_RATIO,
+    LayerTraffic,
+    ModelEncryptionPlan,
+    PlanError,
+    PoolLayerPlan,
+    WeightLayerPlan,
+)
+from .plan import AuxParamPlan
+from .pruning import ABLATION_POLICIES, RowAblationResult, ablate_kernel_rows, row_ablation_study
+from .seal import LayerLayout, SealScheme, SnoopedModel
+from .serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+
+__all__ = [
+    "TrafficSummary",
+    "per_layer_encrypted_fraction",
+    "summarize_traffic",
+    "fc_row_l1",
+    "importance_profile",
+    "kernel_row_l1",
+    "rank_rows",
+    "select_encrypted_rows",
+    "Allocation",
+    "HeapError",
+    "SecureHeap",
+    "DEFAULT_ENCRYPTION_RATIO",
+    "LayerTraffic",
+    "ModelEncryptionPlan",
+    "PlanError",
+    "PoolLayerPlan",
+    "WeightLayerPlan",
+    "LayerLayout",
+    "SealScheme",
+    "SnoopedModel",
+    "AuxParamPlan",
+    "ABLATION_POLICIES",
+    "RowAblationResult",
+    "ablate_kernel_rows",
+    "row_ablation_study",
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+]

@@ -1,0 +1,96 @@
+"""Plan-level statistics: how much bus traffic does SEAL actually encrypt?
+
+The performance win of SEAL is proportional to the *traffic-weighted*
+encrypted fraction, not the parameter-weighted one — feature maps usually
+dominate bytes moved.  These helpers quantify both, per layer and per
+model, and back the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import LayerTraffic, ModelEncryptionPlan
+
+__all__ = ["TrafficSummary", "summarize_traffic", "per_layer_encrypted_fraction"]
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate byte accounting for one plan."""
+
+    model_name: str
+    ratio: float
+    total_bytes: int
+    encrypted_bytes: int
+    weight_bytes: int
+    encrypted_weight_bytes: int
+    fmap_bytes: int
+    encrypted_fmap_bytes: int
+
+    @property
+    def encrypted_fraction(self) -> float:
+        return self.encrypted_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def weight_encrypted_fraction(self) -> float:
+        return (
+            self.encrypted_weight_bytes / self.weight_bytes if self.weight_bytes else 0.0
+        )
+
+    @property
+    def fmap_encrypted_fraction(self) -> float:
+        return self.encrypted_fmap_bytes / self.fmap_bytes if self.fmap_bytes else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model_name} @ ratio {self.ratio:.0%}: "
+            f"{self.encrypted_fraction:.1%} of {self.total_bytes / 1e6:.1f} MB "
+            f"encrypted (weights {self.weight_encrypted_fraction:.1%}, "
+            f"feature maps {self.fmap_encrypted_fraction:.1%})"
+        )
+
+
+def summarize_traffic(plan: ModelEncryptionPlan) -> TrafficSummary:
+    """Reduce a plan's :meth:`layer_traffic` into one summary record."""
+    traffic = plan.layer_traffic()
+    weight_bytes = sum(t.weight_bytes_encrypted + t.weight_bytes_plain for t in traffic)
+    encrypted_weight = sum(t.weight_bytes_encrypted for t in traffic)
+    fmap_bytes = sum(
+        t.input_bytes_encrypted
+        + t.input_bytes_plain
+        + t.output_bytes_encrypted
+        + t.output_bytes_plain
+        for t in traffic
+    )
+    encrypted_fmap = sum(
+        t.input_bytes_encrypted + t.output_bytes_encrypted for t in traffic
+    )
+    return TrafficSummary(
+        model_name=plan.model_name,
+        ratio=plan.ratio,
+        total_bytes=weight_bytes + fmap_bytes,
+        encrypted_bytes=encrypted_weight + encrypted_fmap,
+        weight_bytes=weight_bytes,
+        encrypted_weight_bytes=encrypted_weight,
+        fmap_bytes=fmap_bytes,
+        encrypted_fmap_bytes=encrypted_fmap,
+    )
+
+
+def per_layer_encrypted_fraction(plan: ModelEncryptionPlan) -> dict[str, float]:
+    """Map layer name → fraction of its traffic that is encrypted."""
+    return {t.name: t.encrypted_fraction for t in plan.layer_traffic()}
+
+
+def traffic_table(traffic: list[LayerTraffic]) -> str:
+    """ASCII table of per-layer traffic splits (debugging/reporting)."""
+    lines = [
+        f"{'layer':<34}{'kind':<6}{'total KB':>10}{'enc KB':>10}{'enc %':>8}"
+    ]
+    for t in traffic:
+        lines.append(
+            f"{t.name:<34}{t.kind:<6}{t.total_bytes / 1024:>10.1f}"
+            f"{t.encrypted_bytes / 1024:>10.1f}{t.encrypted_fraction:>8.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Secure heap with the paper's ``emalloc()`` programming primitive.
+
+Section III-A: *"we expose a new programming primitive, emalloc(), to the
+high-level program ... The memory space allocated by emalloc() needs to be
+encrypted.  The memory space allocated by existing malloc() does not."*
+
+:class:`SecureHeap` models the accelerator's DRAM address space.  The SEAL
+runtime allocates each weight tensor and feature map either with
+:meth:`emalloc` (encrypted region) or :meth:`malloc` (bypass region); the
+memory controller then routes requests through or around the AES engine by
+address range.  The heap also produces the address layout that the trace
+generator uses, so simulated requests carry real addresses with correct
+criticality tags.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Allocation", "SecureHeap", "HeapError"]
+
+
+class HeapError(RuntimeError):
+    """Raised on invalid allocations or address lookups."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One allocated region of accelerator memory."""
+
+    name: str
+    address: int
+    size: int
+    encrypted: bool
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+    def __repr__(self) -> str:
+        kind = "emalloc" if self.encrypted else "malloc"
+        return f"Allocation({self.name!r}, {kind}, 0x{self.address:x}+{self.size})"
+
+
+class SecureHeap:
+    """Bump allocator over a modelled DRAM address space.
+
+    Parameters
+    ----------
+    base:
+        First usable address.
+    alignment:
+        Allocation alignment; defaults to the 128-byte memory-access
+        granularity of the modelled GDDR5 system so no cache line ever
+        spans an encrypted/plaintext boundary.
+    capacity:
+        Optional size limit (bytes); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        base: int = 0x1000_0000,
+        alignment: int = 128,
+        capacity: int | None = None,
+    ) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise HeapError("alignment must be a positive power of two")
+        self.base = base
+        self.alignment = alignment
+        self.capacity = capacity
+        self._cursor = base
+        self._allocations: list[Allocation] = []
+        self._starts: list[int] = []
+        self._by_name: dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    def _allocate(self, name: str, size: int, encrypted: bool) -> Allocation:
+        if size <= 0:
+            raise HeapError(f"allocation size must be positive, got {size}")
+        if name in self._by_name:
+            raise HeapError(f"allocation name {name!r} already in use")
+        aligned = (size + self.alignment - 1) // self.alignment * self.alignment
+        if self.capacity is not None and self._cursor + aligned > self.base + self.capacity:
+            raise HeapError(
+                f"out of memory: need {aligned} bytes, "
+                f"{self.base + self.capacity - self._cursor} available"
+            )
+        allocation = Allocation(name, self._cursor, aligned, encrypted)
+        self._cursor += aligned
+        self._allocations.append(allocation)
+        self._starts.append(allocation.address)
+        self._by_name[name] = allocation
+        return allocation
+
+    def emalloc(self, name: str, size: int) -> Allocation:
+        """Allocate an **encrypted** region (the paper's new primitive)."""
+        return self._allocate(name, size, encrypted=True)
+
+    def malloc(self, name: str, size: int) -> Allocation:
+        """Allocate a plaintext region that bypasses the AES engine."""
+        return self._allocate(name, size, encrypted=False)
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Allocation:
+        """The allocation containing ``address`` (O(log n))."""
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index >= 0:
+            allocation = self._allocations[index]
+            if allocation.contains(address):
+                return allocation
+        raise HeapError(f"address 0x{address:x} is not allocated")
+
+    def is_encrypted(self, address: int) -> bool:
+        """Criticality of the line at ``address`` — the memory controller's
+        routing decision."""
+        return self.lookup(address).encrypted
+
+    def by_name(self, name: str) -> Allocation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise HeapError(f"no allocation named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Allocation]:
+        return iter(self._allocations)
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor - self.base
+
+    @property
+    def encrypted_bytes(self) -> int:
+        return sum(a.size for a in self._allocations if a.encrypted)
+
+    @property
+    def plaintext_bytes(self) -> int:
+        return sum(a.size for a in self._allocations if not a.encrypted)

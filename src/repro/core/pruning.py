@@ -1,0 +1,166 @@
+"""Kernel-row ablation: empirical validation of the criticality premise.
+
+SEAL's security argument (Section III-A) leans on the pruning literature
+(Li et al., ICLR'17 [13]): kernel rows with small ℓ1-norms produce weakly
+activated feature maps and contribute little to the model output, so
+leaving them in plaintext does not help an adversary.  This module makes
+that premise *testable* on our own models: zero out a fraction of kernel
+rows chosen by different policies and measure the accuracy impact.
+
+Expected ordering (checked by tests and the criticality ablation bench):
+removing the **least** important rows hurts far less than removing the
+**most** important rows, with random removal in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.layers import BatchNorm2d, Conv2d, Module
+from ..nn.tensor import Tensor
+from ..nn.training import evaluate
+from .importance import kernel_row_l1, rank_rows
+
+__all__ = [
+    "RowAblationResult",
+    "ablate_kernel_rows",
+    "recalibrate_batchnorm",
+    "row_ablation_study",
+    "ABLATION_POLICIES",
+]
+
+ABLATION_POLICIES = ("least-important", "most-important", "random")
+
+
+def _rows_to_remove(
+    importance: np.ndarray, fraction: float, policy: str, rng: np.random.Generator
+) -> np.ndarray:
+    count = int(round(fraction * importance.size))
+    if count == 0:
+        return np.zeros(importance.size, dtype=bool)
+    mask = np.zeros(importance.size, dtype=bool)
+    order = rank_rows(importance)
+    if policy == "least-important":
+        mask[order[-count:]] = True
+    elif policy == "most-important":
+        mask[order[:count]] = True
+    elif policy == "random":
+        mask[rng.choice(importance.size, size=count, replace=False)] = True
+    else:
+        raise ValueError(f"unknown policy {policy!r}; choose from {ABLATION_POLICIES}")
+    return mask
+
+
+def ablate_kernel_rows(
+    model: Module,
+    fraction: float,
+    policy: str = "least-important",
+    *,
+    seed: int = 0,
+    skip_first: int = 1,
+) -> dict[str, np.ndarray]:
+    """Zero out ``fraction`` of kernel rows per CONV layer, in place.
+
+    Returns the per-layer removal masks (True = zeroed).  ``skip_first``
+    CONV layers are left intact (ablating the image-facing stem destroys
+    any model regardless of criticality, which would mask the effect the
+    study measures).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    masks: dict[str, np.ndarray] = {}
+    conv_index = 0
+    for name, module in model.named_modules():
+        if not isinstance(module, Conv2d):
+            continue
+        conv_index += 1
+        if conv_index <= skip_first:
+            continue
+        importance = kernel_row_l1(module.weight.data)
+        mask = _rows_to_remove(importance, fraction, policy, rng)
+        module.weight.data[:, mask, :, :] = 0.0
+        masks[name] = mask
+    return masks
+
+
+def recalibrate_batchnorm(
+    model: Module, images: np.ndarray, *, batch_size: int = 64
+) -> None:
+    """Recompute batch-norm running statistics on ``images``.
+
+    Zeroing kernel rows shifts every downstream activation distribution, so
+    the pre-ablation running statistics mis-normalise the pruned network —
+    the standard remedy (as in the pruning literature) is to re-estimate
+    them with a few calibration batches.  Uses cumulative averaging
+    (momentum ``1/i`` for batch ``i``) so the result is the exact mean over
+    the calibration set.
+    """
+    bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bn_layers:
+        return
+    for bn in bn_layers:
+        bn.running_mean[:] = 0.0
+        bn.running_var[:] = 1.0
+    original_momentum = [bn.momentum for bn in bn_layers]
+    model.train()
+    try:
+        batch_index = 0
+        for start in range(0, len(images), batch_size):
+            batch_index += 1
+            for bn in bn_layers:
+                bn.momentum = 1.0 / batch_index
+            model(Tensor(images[start : start + batch_size].astype(np.float32)))
+    finally:
+        for bn, momentum in zip(bn_layers, original_momentum):
+            bn.momentum = momentum
+        model.eval()
+
+
+@dataclass(frozen=True)
+class RowAblationResult:
+    """Accuracy after ablating rows under each policy, per fraction."""
+
+    baseline_accuracy: float
+    fractions: tuple[float, ...]
+    accuracy: dict[str, tuple[float, ...]]  # policy -> per-fraction accuracy
+
+    def drop(self, policy: str, index: int) -> float:
+        return self.baseline_accuracy - self.accuracy[policy][index]
+
+
+def row_ablation_study(
+    model: Module,
+    dataset: Dataset,
+    *,
+    fractions: tuple[float, ...] = (0.1, 0.3, 0.5),
+    policies: tuple[str, ...] = ABLATION_POLICIES,
+    seed: int = 0,
+    calibration_images: np.ndarray | None = None,
+) -> RowAblationResult:
+    """Measure accuracy under row ablation for each policy × fraction.
+
+    ``calibration_images`` (recommended) recalibrates batch-norm statistics
+    after each ablation — without it, stale statistics dominate the
+    measurement and mask the criticality ordering.  The model is
+    snapshotted and restored between runs, so the study has no side effects
+    on ``model``.
+    """
+    snapshot = model.state_dict()
+    baseline = evaluate(model, dataset)
+    accuracy: dict[str, list[float]] = {policy: [] for policy in policies}
+    for policy in policies:
+        for fraction in fractions:
+            ablate_kernel_rows(model, fraction, policy, seed=seed)
+            if calibration_images is not None and fraction > 0:
+                recalibrate_batchnorm(model, calibration_images)
+            accuracy[policy].append(evaluate(model, dataset))
+            model.load_state_dict(snapshot)
+    return RowAblationResult(
+        baseline_accuracy=baseline,
+        fractions=tuple(fractions),
+        accuracy={policy: tuple(values) for policy, values in accuracy.items()},
+    )

@@ -1,0 +1,236 @@
+"""SEAL façade: plan + memory layout + the adversary's bus view.
+
+:class:`SealScheme` ties the pieces together the way the deployed system
+would: build the criticality plan for a trained model, lay the model out in
+accelerator memory with ``emalloc``/``malloc`` per region, functionally
+encrypt the critical lines, and answer the question the security analysis
+needs — *exactly which bytes does a bus snooper see in plaintext?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crypto.modes import CounterModeEncryptor, DirectEncryptor
+from ..nn.layers import Module
+from .memory import Allocation, SecureHeap
+from .plan import DEFAULT_ENCRYPTION_RATIO, ModelEncryptionPlan
+
+__all__ = ["SealScheme", "LayerLayout", "SnoopedModel"]
+
+
+@dataclass(frozen=True)
+class LayerLayout:
+    """Memory placement of one weight layer's data.
+
+    Encrypted kernel rows and plaintext kernel rows are packed into separate
+    allocations so that no 128-byte line mixes criticalities (the memory
+    controller routes per line).
+    """
+
+    name: str
+    encrypted_weights: Allocation | None
+    plain_weights: Allocation | None
+
+
+@dataclass
+class SnoopedModel:
+    """What a bus snooper obtains from a SEAL-protected accelerator.
+
+    ``weights[name]`` has NaN where the corresponding kernel weight was
+    encrypted on the bus (the adversary sees ciphertext, i.e. nothing
+    useful); real values elsewhere.  ``masks[name]`` is True where
+    encrypted.
+
+    The bus also carries per-channel auxiliary data — biases and batch-norm
+    parameters/statistics — encrypted exactly when their channel is.
+    ``aux_params``/``aux_masks`` expose those by full parameter name (e.g.
+    ``stem_bn.gamma``), and ``aux_buffers`` the snooped running statistics.
+    This is the exact input to the paper's substitute-model generation
+    (Section III-B.1).
+    """
+
+    model_name: str
+    ratio: float
+    weights: dict[str, np.ndarray]
+    masks: dict[str, np.ndarray]
+    aux_params: dict[str, np.ndarray] = None
+    aux_masks: dict[str, np.ndarray] = None
+    aux_buffers: dict[str, np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.aux_params is None:
+            self.aux_params = {}
+        if self.aux_masks is None:
+            self.aux_masks = {}
+        if self.aux_buffers is None:
+            self.aux_buffers = {}
+
+    def known_fraction(self) -> float:
+        """Fraction of *kernel weights* visible in plaintext."""
+        total = sum(m.size for m in self.masks.values())
+        known = sum(int((~m).sum()) for m in self.masks.values())
+        return known / total if total else 0.0
+
+
+class SealScheme:
+    """End-to-end smart encryption for one model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`repro.nn.layers.Module`.
+    ratio:
+        Encryption ratio for the selective layers (paper default: 50%).
+    key:
+        AES key used for the functional datapath (any 16/24/32-byte value).
+    input_shape:
+        Model input geometry for the dataflow trace.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        ratio: float = DEFAULT_ENCRYPTION_RATIO,
+        *,
+        key: bytes = bytes(range(16)),
+        input_shape: tuple[int, ...] = (3, 32, 32),
+        mode: str = "counter",
+    ) -> None:
+        self.model = model
+        self.plan = ModelEncryptionPlan.build(model, ratio, input_shape=input_shape)
+        self.ratio = ratio
+        if mode == "counter":
+            self._encryptor = CounterModeEncryptor(key)
+            self._counter_mode = True
+        elif mode == "direct":
+            self._encryptor = DirectEncryptor(key)
+            self._counter_mode = False
+        else:
+            raise ValueError(f"mode must be 'counter' or 'direct', got {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Memory layout
+    # ------------------------------------------------------------------
+    def layout(self, heap: SecureHeap | None = None) -> tuple[SecureHeap, list[LayerLayout]]:
+        """Place every layer's weights into encrypted/plaintext regions.
+
+        Returns the heap (so feature maps can be added by the runtime) and
+        the per-layer layout records.
+        """
+        if heap is None:  # note: an empty heap is falsy via __len__
+            heap = SecureHeap()
+        layouts: list[LayerLayout] = []
+        for layer in self.plan.layers:
+            encrypted_bytes = layer.encrypted_weight_bytes
+            plain_bytes = layer.weight_bytes - encrypted_bytes
+            enc_alloc = (
+                heap.emalloc(f"{layer.name}.weights.enc", encrypted_bytes)
+                if encrypted_bytes
+                else None
+            )
+            plain_alloc = (
+                heap.malloc(f"{layer.name}.weights.plain", plain_bytes)
+                if plain_bytes
+                else None
+            )
+            layouts.append(LayerLayout(layer.name, enc_alloc, plain_alloc))
+        # Feature-map regions: one pair per tensor group.
+        for group, mask in sorted(self.plan.group_masks.items()):
+            channels = self.plan.group_channels.get(group, mask.size)
+            if channels == 0:
+                continue
+            encrypted_channels = int(mask.sum())
+            plain_channels = channels - encrypted_channels
+            # Size is refined per layer by the trace generator; reserve a
+            # nominal per-channel page here so lookups work end to end.
+            page = 4096
+            if encrypted_channels:
+                heap.emalloc(f"fmap.group{group}.enc", encrypted_channels * page)
+            if plain_channels:
+                heap.malloc(f"fmap.group{group}.plain", plain_channels * page)
+        return heap, layouts
+
+    # ------------------------------------------------------------------
+    # Functional datapath
+    # ------------------------------------------------------------------
+    def encrypt_line(self, address: int, data: bytes, counter: int = 0) -> bytes:
+        """Encrypt one cache line as the memory controller would."""
+        if self._counter_mode:
+            return self._encryptor.encrypt_line(address, counter, data)
+        return self._encryptor.encrypt_line(address, data)
+
+    def decrypt_line(self, address: int, data: bytes, counter: int = 0) -> bytes:
+        if self._counter_mode:
+            return self._encryptor.decrypt_line(address, counter, data)
+        return self._encryptor.decrypt_line(address, data)
+
+    # ------------------------------------------------------------------
+    # Adversary view
+    # ------------------------------------------------------------------
+    def snooped_view(self) -> SnoopedModel:
+        """The bus snooper's haul: plaintext weights, NaN for ciphertext.
+
+        Besides kernel weights, the returned view exposes the per-channel
+        auxiliary data the bus also carries — biases and batch-norm
+        parameters/statistics — masked per channel exactly as the plan
+        encrypts the corresponding feature-map channels.
+        """
+        weights: dict[str, np.ndarray] = {}
+        masks = self.plan.weight_masks()
+        named = dict(self.model.named_parameters())
+        for layer in self.plan.layers:
+            param_name = f"{layer.name}.weight"
+            if param_name not in named:
+                raise KeyError(f"model has no parameter {param_name!r}")
+            values = named[param_name].data.astype(np.float64).copy()
+            mask = masks[layer.name]
+            values[mask] = np.nan
+            weights[layer.name] = values
+
+        def masked(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+            out = values.astype(np.float64).copy()
+            out[mask] = np.nan
+            return out
+
+        aux_params: dict[str, np.ndarray] = {}
+        aux_masks: dict[str, np.ndarray] = {}
+        aux_buffers: dict[str, np.ndarray] = {}
+        # Biases of weight layers (per output channel).
+        for layer_name, bias_mask in self.plan.bias_masks().items():
+            param_name = f"{layer_name}.bias"
+            if param_name in named:
+                aux_params[param_name] = masked(named[param_name].data, bias_mask)
+                aux_masks[param_name] = bias_mask
+        # Batch-norm affine parameters and running statistics.
+        from ..nn.layers import BatchNorm2d
+
+        modules = dict(self.model.named_modules())
+        for module_name, channel_mask in self.plan.aux_channel_masks().items():
+            module = modules.get(module_name)
+            if not isinstance(module, BatchNorm2d):
+                continue
+            for attr in ("gamma", "beta"):
+                param_name = f"{module_name}.{attr}"
+                aux_params[param_name] = masked(
+                    getattr(module, attr).data, channel_mask
+                )
+                aux_masks[param_name] = channel_mask
+            for attr in ("running_mean", "running_var"):
+                buffer_name = f"{module_name}.{attr}"
+                aux_buffers[buffer_name] = masked(
+                    getattr(module, attr), channel_mask
+                )
+                aux_masks[buffer_name] = channel_mask
+
+        return SnoopedModel(
+            model_name=self.plan.model_name,
+            ratio=self.ratio,
+            weights=weights,
+            masks=masks,
+            aux_params=aux_params,
+            aux_masks=aux_masks,
+            aux_buffers=aux_buffers,
+        )

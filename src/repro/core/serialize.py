@@ -1,0 +1,166 @@
+"""Plan serialization: bake a smart-encryption plan into a deployable blob.
+
+The SEAL runtime decides per cache line whether to route through the AES
+engine; that decision derives from the plan computed at model-preparation
+time.  Serializing the plan (rather than recomputing ℓ1 statistics on
+device) is how a deployment would ship it — and it lets tools inspect or
+diff plans without the trained weights.
+
+The format is plain JSON: masks are stored as 0/1 lists, importance as
+floats.  ``plan_from_dict`` reconstructs a fully functional
+:class:`~repro.core.plan.ModelEncryptionPlan` (queries, traffic splitting,
+validation) without needing the original model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .plan import (
+    AuxParamPlan,
+    ModelEncryptionPlan,
+    PlanError,
+    PoolLayerPlan,
+    WeightLayerPlan,
+)
+
+__all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: ModelEncryptionPlan) -> dict:
+    """Serialize a plan to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "model_name": plan.model_name,
+        "ratio": plan.ratio,
+        "element_bytes": plan.element_bytes,
+        "input_group": plan.input_group,
+        "output_group": plan.output_group,
+        "group_masks": {
+            str(group): mask.astype(int).tolist()
+            for group, mask in plan.group_masks.items()
+        },
+        "group_channels": {
+            str(group): channels for group, channels in plan.group_channels.items()
+        },
+        "layers": [
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "index": layer.index,
+                "n_rows": layer.n_rows,
+                "importance": layer.importance.tolist(),
+                "row_mask": layer.row_mask.astype(int).tolist(),
+                "fully_encrypted": layer.fully_encrypted,
+                "channel_group": layer.channel_group,
+                "in_group": layer.in_group,
+                "out_group": layer.out_group,
+                "in_shape": list(layer.in_shape),
+                "out_shape": list(layer.out_shape),
+                "weight_shape": list(layer.weight_shape),
+            }
+            for layer in plan.layers
+        ],
+        "pools": [
+            {
+                "name": pool.name,
+                "index": pool.index,
+                "kernel_size": pool.kernel_size,
+                "group": pool.group,
+                "in_shape": list(pool.in_shape),
+                "out_shape": list(pool.out_shape),
+            }
+            for pool in plan.pools
+        ],
+        "aux": [
+            {
+                "module_name": aux.module_name,
+                "group": aux.group,
+                "channels": aux.channels,
+            }
+            for aux in plan.aux
+        ],
+    }
+
+
+def plan_from_dict(payload: dict) -> ModelEncryptionPlan:
+    """Reconstruct a plan from :func:`plan_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PlanError(f"unsupported plan format version {version!r}")
+    layers = [
+        WeightLayerPlan(
+            name=item["name"],
+            kind=item["kind"],
+            index=item["index"],
+            n_rows=item["n_rows"],
+            importance=np.asarray(item["importance"], dtype=np.float64),
+            row_mask=np.asarray(item["row_mask"], dtype=bool),
+            fully_encrypted=item["fully_encrypted"],
+            channel_group=item["channel_group"],
+            in_group=item["in_group"],
+            out_group=item["out_group"],
+            in_shape=tuple(item["in_shape"]),
+            out_shape=tuple(item["out_shape"]),
+            weight_shape=tuple(item["weight_shape"]),
+            element_bytes=payload["element_bytes"],
+        )
+        for item in payload["layers"]
+    ]
+    pools = [
+        PoolLayerPlan(
+            name=item["name"],
+            index=item["index"],
+            kernel_size=item["kernel_size"],
+            group=item["group"],
+            in_shape=tuple(item["in_shape"]),
+            out_shape=tuple(item["out_shape"]),
+            element_bytes=payload["element_bytes"],
+        )
+        for item in payload["pools"]
+    ]
+    aux = [
+        AuxParamPlan(
+            module_name=item["module_name"],
+            group=item["group"],
+            channels=item["channels"],
+        )
+        for item in payload.get("aux", [])
+    ]
+    plan = ModelEncryptionPlan(
+        model_name=payload["model_name"],
+        ratio=payload["ratio"],
+        layers=layers,
+        pools=pools,
+        group_masks={
+            int(group): np.asarray(mask, dtype=bool)
+            for group, mask in payload["group_masks"].items()
+        },
+        group_channels={
+            int(group): channels
+            for group, channels in payload["group_channels"].items()
+        },
+        input_group=payload["input_group"],
+        output_group=payload["output_group"],
+        element_bytes=payload["element_bytes"],
+        aux=aux,
+    )
+    plan._by_name = {layer.name: layer for layer in layers}
+    plan.validate()
+    return plan
+
+
+def save_plan(plan: ModelEncryptionPlan, path: str) -> None:
+    """Write a plan to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=1)
+
+
+def load_plan(path: str) -> ModelEncryptionPlan:
+    """Read a plan from a JSON file (validates on load)."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))

@@ -1,0 +1,26 @@
+"""Encryption substrate: functional AES, memory-encryption modes,
+counter cache, and hardware-engine performance models."""
+
+from .aes import AES, BLOCK_SIZE
+from .counter_cache import CounterCache, CounterCacheConfig, CounterCacheStats
+from .mac import MAC_BYTES, LineAuthenticator, gf128_mul, ghash
+from .engine import ENGINE_SURVEY, PAPER_ENGINE, AesEngineModel, EngineSpec
+from .modes import CounterModeEncryptor, DirectEncryptor
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "CounterCache",
+    "CounterCacheConfig",
+    "CounterCacheStats",
+    "MAC_BYTES",
+    "LineAuthenticator",
+    "gf128_mul",
+    "ghash",
+    "ENGINE_SURVEY",
+    "PAPER_ENGINE",
+    "AesEngineModel",
+    "EngineSpec",
+    "CounterModeEncryptor",
+    "DirectEncryptor",
+]

@@ -1,0 +1,251 @@
+"""FIPS-197 AES block cipher (128/192/256-bit keys), pure Python.
+
+This module provides the *functional* encryption datapath used by the SEAL
+reproduction: memory lines that the smart-encryption plan marks as critical
+are actually transformed with AES before they are "placed on the memory bus"
+(see :mod:`repro.crypto.modes`).  Performance modelling of hardware AES
+engines lives separately in :mod:`repro.crypto.engine`; this module cares
+only about correctness and is validated against the FIPS-197 appendix and
+NIST SP 800-38A test vectors in the test suite.
+
+The implementation follows the FIPS-197 specification directly:
+
+* the S-box is derived from the multiplicative inverse in GF(2^8) followed
+  by the documented affine transformation (it is *computed*, not pasted, so
+  a single table typo cannot silently corrupt results);
+* key expansion implements ``RotWord``/``SubWord``/``Rcon`` for all three
+  key sizes (Nk = 4, 6, 8);
+* the round function implements SubBytes, ShiftRows, MixColumns and
+  AddRoundKey on a 16-byte column-major state, plus all inverses for
+  decryption.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["AES", "BLOCK_SIZE", "xtime", "gf_mul"]
+
+BLOCK_SIZE = 16
+"""AES block size in bytes (128 bits, fixed for all key sizes)."""
+
+
+def xtime(a: int) -> int:
+    """Multiply ``a`` by x (i.e. {02}) in GF(2^8) modulo x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (Rijndael's field)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) == a^254 is the inverse in GF(2^8).
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, power)
+        power = gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Compute the AES S-box and its inverse from first principles."""
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = _gf_inverse(value)
+        # Affine transformation: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6}
+        #                               ^ b_{i+7} ^ c_i  with c = 0x63.
+        transformed = 0
+        for bit in range(8):
+            s = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= s << bit
+        sbox[value] = transformed
+    inv_sbox = bytearray(256)
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# Round constants for key expansion: Rcon[i] = x^(i-1) in GF(2^8).
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(xtime(_RCON[-1]))
+
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """AES block cipher for a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes selecting AES-128, AES-192 or AES-256.
+
+    Examples
+    --------
+    >>> cipher = AES(bytes(range(16)))
+    >>> block = bytes.fromhex("00112233445566778899aabbccddeeff")
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self.key = key
+        self.rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion; returns one 16-byte round key per round."""
+        nk = len(key) // 4
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]  # extra SubWord for AES-256
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        round_keys = []
+        for round_index in range(self.rounds + 1):
+            flat: List[int] = []
+            for word in words[4 * round_index : 4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    # ------------------------------------------------------------------
+    # Round primitives (state is a flat list of 16 ints, column-major)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state[r + 4c] holds row r, column c. Row r rotates left by r.
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            rotated = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            rotated = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3
+            state[base + 1] = a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3
+            state[base + 2] = a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3
+            state[base + 3] = xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = (
+                gf_mul(a0, 0x0E) ^ gf_mul(a1, 0x0B) ^ gf_mul(a2, 0x0D) ^ gf_mul(a3, 0x09)
+            )
+            state[base + 1] = (
+                gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0E) ^ gf_mul(a2, 0x0B) ^ gf_mul(a3, 0x0D)
+            )
+            state[base + 2] = (
+                gf_mul(a0, 0x0D) ^ gf_mul(a1, 0x09) ^ gf_mul(a2, 0x0E) ^ gf_mul(a3, 0x0B)
+            )
+            state[base + 3] = (
+                gf_mul(a0, 0x0B) ^ gf_mul(a1, 0x0D) ^ gf_mul(a2, 0x09) ^ gf_mul(a3, 0x0E)
+            )
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for round_index in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

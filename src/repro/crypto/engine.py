@@ -1,0 +1,117 @@
+"""Performance models of hardware AES encryption engines.
+
+The paper's Table I surveys five published hardware AES implementations and
+motivates the central observation: even the best engines deliver single-digit
+GB/s, far below a GDDR5 bus.  :data:`ENGINE_SURVEY` reproduces that table;
+:class:`AesEngineModel` turns one row (or the paper's modelled engine:
+8 GB/s, 20-cycle latency, Mathew et al. style pipeline) into the
+cycle-accurate service model the memory-controller simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineSpec", "ENGINE_SURVEY", "AesEngineModel", "PAPER_ENGINE"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One row of Table I: a published hardware AES engine (counter mode).
+
+    ``area_mm2`` / ``power_mw`` may be ``None`` where the paper lists N/A.
+    """
+
+    name: str
+    area_mm2: float | None
+    power_mw: float | None
+    latency_cycles: int
+    throughput_gbps: float  # GB/s as reported in the paper
+
+    def bytes_per_cycle(self, clock_ghz: float) -> float:
+        """Sustained service rate in bytes per core cycle at ``clock_ghz``."""
+        if clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        return self.throughput_gbps * 1e9 / (clock_ghz * 1e9)
+
+
+#: Table I of the paper, verbatim.
+ENGINE_SURVEY: tuple[EngineSpec, ...] = (
+    EngineSpec("Morioka et al. [16]", None, 1920.0, 10, 1.5),
+    EngineSpec("Mathew et al. [15]", 1.1, 125.0, 20, 6.6),
+    EngineSpec("Ensilica [3]", 1.4, None, 11, 8.0),
+    EngineSpec("Sayilar et al. [21]", 6.3, 6207.0, 20, 16.0),
+    EngineSpec("Liu et al. [14]", 6.6, 1580.0, 152, 19.0),
+)
+
+#: The engine the paper models in GPGPU-Sim: pipelined 128-bit AES,
+#: 20-cycle line latency, 8 GB/s per engine (Section IV-A).
+PAPER_ENGINE = EngineSpec("SEAL modelled engine", 1.1, 125.0, 20, 8.0)
+
+
+class AesEngineModel:
+    """Cycle-level model of one pipelined AES engine.
+
+    The engine is a rate-limited pipeline: a cache line entering at cycle
+    ``t`` leaves at ``max(t, next_free) + latency`` where ``next_free``
+    advances by ``line_bytes / bytes_per_cycle`` per accepted line.  This
+    captures both the fixed pipeline latency the paper gives (20 cycles per
+    line) and the sustained-throughput limit (8 GB/s) that creates the
+    bandwidth gap.
+
+    Parameters
+    ----------
+    spec:
+        Which hardware engine to model (defaults to the paper's).
+    clock_ghz:
+        The clock the throughput is converted against.  The paper models the
+        memory-controller domain; GTX480's core clock is 0.7 GHz.
+    """
+
+    def __init__(self, spec: EngineSpec = PAPER_ENGINE, clock_ghz: float = 0.7) -> None:
+        self.spec = spec
+        self.clock_ghz = clock_ghz
+        self._bytes_per_cycle = spec.bytes_per_cycle(clock_ghz)
+        self._next_free = 0.0
+        self.lines_processed = 0
+        self.bytes_processed = 0
+        self.busy_cycles = 0.0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self._bytes_per_cycle
+
+    def service(self, arrival_cycle: int, line_bytes: int) -> int:
+        """Admit one line at ``arrival_cycle``; return its completion cycle."""
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        start = max(float(arrival_cycle), self._next_free)
+        occupancy = line_bytes / self._bytes_per_cycle
+        self._next_free = start + occupancy
+        self.lines_processed += 1
+        self.bytes_processed += line_bytes
+        self.busy_cycles += occupancy
+        return int(start + occupancy + self.spec.latency_cycles)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` the engine datapath was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        self._next_free = 0.0
+        self.lines_processed = 0
+        self.bytes_processed = 0
+        self.busy_cycles = 0.0
+
+
+def aggregate_bandwidth_gbps(num_engines: int, spec: EngineSpec = PAPER_ENGINE) -> float:
+    """Total encryption bandwidth of ``num_engines`` engines in GB/s.
+
+    The paper's headline arithmetic: six 8 GB/s engines give 48 GB/s against
+    a ~177 GB/s GDDR5 bus.
+    """
+    if num_engines < 0:
+        raise ValueError("num_engines must be non-negative")
+    return num_engines * spec.throughput_gbps

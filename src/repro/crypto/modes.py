@@ -1,0 +1,131 @@
+"""Memory-encryption modes of operation used in secure processors.
+
+Two schemes from the paper (Section II-B, following Yan et al. [24]):
+
+* **Direct encryption** — each cache line is encrypted in place with the
+  block cipher.  To avoid identical plaintext lines producing identical
+  ciphertext at different addresses we use an address tweak (an XEX/XTS-style
+  construction: the line address, encrypted, is XORed into each block before
+  and after the cipher).  Decryption sits on the critical read path, which is
+  why direct encryption adds the AES latency to every memory read.
+
+* **Counter-mode encryption** — each line has a counter (major + per-line
+  minor, see :mod:`repro.crypto.counter_cache`); the pad
+  ``AES_K(address ‖ counter)`` is XORed with the data.  If the counter is
+  cached on chip, pad generation overlaps the DRAM access and only the XOR is
+  on the critical path; on a counter-cache miss an extra memory access is
+  needed — the effect Figure 1 of the paper measures.
+
+Both operate on whole cache lines (any multiple of 16 bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .aes import AES, BLOCK_SIZE
+
+__all__ = ["DirectEncryptor", "CounterModeEncryptor"]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class DirectEncryptor:
+    """XEX-tweaked direct (in-place) cache-line encryption.
+
+    Parameters
+    ----------
+    key:
+        AES key (16/24/32 bytes).
+    tweak_key:
+        Separate key used to derive the per-address tweak; defaults to the
+        data key with all bytes inverted, which keeps the two schedules
+        distinct without requiring callers to manage a second secret.
+    """
+
+    def __init__(self, key: bytes, tweak_key: bytes | None = None) -> None:
+        self._cipher = AES(key)
+        if tweak_key is None:
+            tweak_key = bytes(b ^ 0xFF for b in key)
+        self._tweak_cipher = AES(tweak_key)
+
+    def _tweak(self, address: int, block_index: int) -> bytes:
+        material = struct.pack("<QQ", address & 0xFFFFFFFFFFFFFFFF, block_index)
+        return self._tweak_cipher.encrypt_block(material)
+
+    def encrypt_line(self, address: int, plaintext: bytes) -> bytes:
+        """Encrypt a cache line stored at ``address``."""
+        self._check_length(plaintext)
+        out = bytearray()
+        for index in range(0, len(plaintext), BLOCK_SIZE):
+            tweak = self._tweak(address, index // BLOCK_SIZE)
+            block = _xor_bytes(plaintext[index : index + BLOCK_SIZE], tweak)
+            out += _xor_bytes(self._cipher.encrypt_block(block), tweak)
+        return bytes(out)
+
+    def decrypt_line(self, address: int, ciphertext: bytes) -> bytes:
+        """Decrypt a cache line stored at ``address``."""
+        self._check_length(ciphertext)
+        out = bytearray()
+        for index in range(0, len(ciphertext), BLOCK_SIZE):
+            tweak = self._tweak(address, index // BLOCK_SIZE)
+            block = _xor_bytes(ciphertext[index : index + BLOCK_SIZE], tweak)
+            out += _xor_bytes(self._cipher.decrypt_block(block), tweak)
+        return bytes(out)
+
+    @staticmethod
+    def _check_length(data: bytes) -> None:
+        if not data or len(data) % BLOCK_SIZE:
+            raise ValueError(
+                f"line length must be a positive multiple of {BLOCK_SIZE}, "
+                f"got {len(data)}"
+            )
+
+
+class CounterModeEncryptor:
+    """Counter-mode cache-line encryption with a per-line counter.
+
+    The one-time pad for a line is ``AES_K(address ‖ counter ‖ block_index)``
+    per 16-byte block.  Reusing a (address, counter) pair would reuse the
+    pad, so callers must bump the counter on every write-back; the
+    :class:`repro.crypto.counter_cache.CounterCache` tracks these counters
+    and this class checks pad-uniqueness in debug mode.
+    """
+
+    def __init__(self, key: bytes, *, track_pad_reuse: bool = False) -> None:
+        self._cipher = AES(key)
+        self._track_pad_reuse = track_pad_reuse
+        self._seen_pads: set[tuple[int, int]] = set()
+
+    def _pad(self, address: int, counter: int, length: int) -> bytes:
+        pad = bytearray()
+        for block_index in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
+            seed = struct.pack(
+                "<QII",
+                address & 0xFFFFFFFFFFFFFFFF,
+                counter & 0xFFFFFFFF,
+                block_index,
+            )
+            pad += self._cipher.encrypt_block(seed)
+        return bytes(pad[:length])
+
+    def encrypt_line(self, address: int, counter: int, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` at ``address`` using ``counter``.
+
+        The caller is responsible for incrementing the counter before each
+        new write to the same address (pad reuse breaks confidentiality).
+        """
+        if self._track_pad_reuse:
+            pair = (address, counter)
+            if pair in self._seen_pads:
+                raise ValueError(
+                    f"pad reuse detected for address={address:#x} counter={counter}"
+                )
+            self._seen_pads.add(pair)
+        return _xor_bytes(plaintext, self._pad(address, counter, len(plaintext)))
+
+    def decrypt_line(self, address: int, counter: int, ciphertext: bytes) -> bytes:
+        """Decrypt ``ciphertext`` at ``address`` using ``counter``."""
+        return _xor_bytes(ciphertext, self._pad(address, counter, len(ciphertext)))

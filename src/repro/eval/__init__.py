@@ -1,0 +1,28 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from .experiments import (
+    MODEL_NAMES,
+    fig1_straightforward,
+    fig3_fig4_security,
+    fig5_conv_layers,
+    fig6_pool_layers,
+    fig7_overall_ipc,
+    fig8_latency,
+    table1_engines,
+)
+from .reporting import ascii_table, bar, format_series, normalize_to_first
+
+__all__ = [
+    "MODEL_NAMES",
+    "fig1_straightforward",
+    "fig3_fig4_security",
+    "fig5_conv_layers",
+    "fig6_pool_layers",
+    "fig7_overall_ipc",
+    "fig8_latency",
+    "table1_engines",
+    "ascii_table",
+    "bar",
+    "format_series",
+    "normalize_to_first",
+]

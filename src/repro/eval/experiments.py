@@ -1,0 +1,449 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Every function returns a structured result object whose ``report()``
+renders the same rows/series the paper presents.  The benchmark scripts in
+``benchmarks/`` are thin wrappers over these functions, so results can also
+be produced interactively:
+
+>>> from repro.eval.experiments import fig7_overall_ipc
+>>> print(fig7_overall_ipc(models=("vgg16",)).report())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..attacks.security import (
+    PAPER_RATIOS,
+    SecurityExperimentConfig,
+    SecurityOutcome,
+    run_security_experiment,
+)
+from ..attacks.substitute import SubstituteConfig
+from ..core.memory import SecureHeap
+from ..core.plan import ModelEncryptionPlan
+from ..crypto.engine import ENGINE_SURVEY
+from ..nn.models import build_model
+from ..sim.config import GpuConfig
+from ..sim.gpu import GpuSimulator, SimResult
+from ..sim.runner import SCHEMES, ModelRunResult, run_layer, run_model, scheme_config
+from ..sim.workloads import matmul_streams
+from .reporting import ascii_table, format_series
+
+__all__ = [
+    "table1_engines",
+    "fig1_straightforward",
+    "fig3_fig4_security",
+    "fig5_conv_layers",
+    "fig6_pool_layers",
+    "fig7_overall_ipc",
+    "fig8_latency",
+    "MODEL_NAMES",
+]
+
+MODEL_NAMES = ("vgg16", "resnet18", "resnet34")
+_PRETTY = {"vgg16": "VGG-16", "resnet18": "ResNet-18", "resnet34": "ResNet-34"}
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Result:
+    rows: list[tuple[str, str, str, int, float]]
+
+    def report(self) -> str:
+        return ascii_table(
+            ("Implementation", "Area (mm2)", "Power (mW)", "Latency (cyc)", "Throughput (GB/s)"),
+            self.rows,
+        )
+
+
+def table1_engines() -> Table1Result:
+    """Table I: the hardware AES engine survey, plus derived rates."""
+    rows = []
+    for spec in ENGINE_SURVEY:
+        rows.append(
+            (
+                spec.name,
+                "N/A" if spec.area_mm2 is None else f"{spec.area_mm2:.1f}",
+                "N/A" if spec.power_mw is None else f"{spec.power_mw:.0f}",
+                spec.latency_cycles,
+                spec.throughput_gbps,
+            )
+        )
+    return Table1Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+@dataclass
+class Fig1Result:
+    """IPC of encrypted GPUs on matmul + counter-cache hit-rate sweep."""
+
+    matmul_shape: tuple[int, int, int]
+    ipc: dict[str, float]  # Baseline / Direct / Ctr-<kb> labels
+    hit_rates: dict[int, float]  # cache KB -> hit rate
+
+    def report(self) -> str:
+        labels = list(self.ipc)
+        values = [self.ipc[l] for l in labels]
+        part_a = format_series(
+            f"Fig 1a: IPC, matmul {self.matmul_shape} (normalized to Baseline)",
+            labels,
+            values,
+            normalized=True,
+        )
+        part_b = ascii_table(
+            ("Counter cache (KB)", "Hit rate"),
+            [(kb, rate) for kb, rate in sorted(self.hit_rates.items())],
+        )
+        return part_a + "\n\nFig 1b: counter cache hit rate\n" + part_b
+
+
+def fig1_straightforward(
+    *,
+    matmul_shape: tuple[int, int, int] = (1024, 1024, 1024),
+    cache_sizes_kb: tuple[int, ...] = (24, 96, 384, 1536),
+) -> Fig1Result:
+    """Figure 1: straightforward Direct/Counter encryption on matmul.
+
+    Runs Baseline, Direct, and Counter with each counter-cache size; the
+    counter runs also produce the Figure 1b hit-rate curve.
+    """
+    m, n, k = matmul_shape
+
+    def run(config: GpuConfig, label: str) -> SimResult:
+        simulator = GpuSimulator(config)
+        streams = matmul_streams(config, m, n, k, encrypted=True, heap=SecureHeap())
+        return simulator.run(streams, label=label)
+
+    ipc: dict[str, float] = {}
+    hit_rates: dict[int, float] = {}
+    ipc["Baseline"] = run(scheme_config("Baseline"), "Baseline").ipc
+    ipc["Direct"] = run(scheme_config("Direct"), "Direct").ipc
+    for kb in cache_sizes_kb:
+        result = run(
+            scheme_config("Counter", counter_cache_kb=kb), f"Ctr-{kb}"
+        )
+        ipc[f"Ctr-{kb}"] = result.ipc
+        hit_rates[kb] = result.counter_hit_rate
+    return Fig1Result(matmul_shape, ipc, hit_rates)
+
+
+# ----------------------------------------------------------------------
+# Figures 3 and 4
+# ----------------------------------------------------------------------
+@dataclass
+class SecuritySweepResult:
+    """Fig 3 (substitute accuracy) + Fig 4 (transferability), all models."""
+
+    outcomes: dict[str, SecurityOutcome]
+
+    def accuracy_rows(self) -> list[list[object]]:
+        labels = ["white-box"] + [
+            SecurityOutcome.seal_key(r) for r in PAPER_RATIOS
+        ] + ["black-box"]
+        rows: list[list[object]] = []
+        for label in labels:
+            row: list[object] = [label]
+            for outcome in self.outcomes.values():
+                row.append(outcome.accuracy.get(label, float("nan")))
+            rows.append(row)
+        return rows
+
+    def transfer_rows(self) -> list[list[object]]:
+        labels = ["white-box"] + [
+            SecurityOutcome.seal_key(r) for r in PAPER_RATIOS
+        ] + ["black-box"]
+        rows: list[list[object]] = []
+        for label in labels:
+            row: list[object] = [label]
+            for outcome in self.outcomes.values():
+                result = outcome.transferability.get(label)
+                row.append(result.transferability if result else float("nan"))
+            rows.append(row)
+        return rows
+
+    def report(self) -> str:
+        headers = ["substitute"] + [
+            _PRETTY.get(name, name) for name in self.outcomes
+        ]
+        victim = ", ".join(
+            f"{_PRETTY.get(name, name)}={o.victim_accuracy:.3f}"
+            for name, o in self.outcomes.items()
+        )
+        parts = [
+            f"victim accuracy: {victim}",
+            "Fig 3: inference accuracy of substitute models",
+            ascii_table(headers, self.accuracy_rows()),
+        ]
+        if any(o.transferability for o in self.outcomes.values()):
+            parts += [
+                "Fig 4: transferability of adversarial examples",
+                ascii_table(headers, self.transfer_rows()),
+            ]
+        return "\n\n".join(parts)
+
+
+def fig3_fig4_security(
+    models: tuple[str, ...] = MODEL_NAMES,
+    *,
+    ratios: tuple[float, ...] = PAPER_RATIOS,
+    width_scale: float = 0.125,
+    train_size: int = 1500,
+    test_size: int = 400,
+    victim_epochs: int = 12,
+    substitute: SubstituteConfig | None = None,
+    transfer_examples: int = 150,
+    measure_transfer: bool = True,
+    verbose: bool = False,
+) -> SecuritySweepResult:
+    """Figures 3 and 4: the full security sweep over all three models.
+
+    Scaled-down defaults run in minutes; raise the budgets for sharper
+    curves (see EXPERIMENTS.md for the settings used in the recorded run).
+    """
+    outcomes: dict[str, SecurityOutcome] = {}
+    for model in models:
+        config = SecurityExperimentConfig(
+            model=model,
+            width_scale=width_scale,
+            ratios=ratios,
+            train_size=train_size,
+            test_size=test_size,
+            victim_epochs=victim_epochs,
+            # Default to the strongest (init-only) adversary; see
+            # repro.attacks.security for the rationale.
+            substitute=substitute or SubstituteConfig(freeze_known=False),
+            transfer_examples=transfer_examples,
+        )
+        outcomes[model] = run_security_experiment(
+            config, measure_transfer=measure_transfer, verbose=verbose
+        )
+    return SecuritySweepResult(outcomes)
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 (per-layer IPC)
+# ----------------------------------------------------------------------
+@dataclass
+class LayerSweepResult:
+    """Normalized IPC for a set of layers under all five schemes."""
+
+    title: str
+    layer_labels: list[str]
+    normalized_ipc: dict[str, list[float]]  # scheme -> per-layer values
+
+    def report(self) -> str:
+        headers = ["scheme"] + self.layer_labels
+        rows = [
+            [scheme] + values for scheme, values in self.normalized_ipc.items()
+        ]
+        return f"{self.title}\n" + ascii_table(headers, rows)
+
+    def improvement_over(self, scheme: str, baseline_scheme: str) -> float:
+        """Mean ratio of one scheme's normalized IPC over another's."""
+        a = self.normalized_ipc[scheme]
+        b = self.normalized_ipc[baseline_scheme]
+        ratios = [x / y for x, y in zip(a, b) if y]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def _layer_sweep(
+    title: str,
+    plan: ModelEncryptionPlan,
+    layer_names: list[str],
+    labels: list[str],
+    schemes: tuple[str, ...] = SCHEMES,
+) -> LayerSweepResult:
+    traffic_by_name = {t.name: t for t in plan.layer_traffic()}
+    normalized: dict[str, list[float]] = {scheme: [] for scheme in schemes}
+    for name in layer_names:
+        traffic = traffic_by_name[name]
+        baseline_ipc = None
+        for scheme in schemes:
+            result = run_layer(traffic, scheme)
+            if baseline_ipc is None:
+                baseline_ipc = result.ipc or 1.0
+            normalized[scheme].append(result.ipc / baseline_ipc)
+    return LayerSweepResult(title, labels, normalized)
+
+
+def _vgg_plan(
+    ratio: float, input_size: int, *, boundary: bool = True
+) -> ModelEncryptionPlan:
+    model = build_model("vgg16", input_size=input_size)
+    if boundary:
+        return ModelEncryptionPlan.build(
+            model, ratio, input_shape=(3, input_size, input_size)
+        )
+    # The paper's per-layer performance experiments (Figures 5 and 6) apply
+    # the SE scheme at the stated ratio to the evaluated layers themselves,
+    # so the boundary-layer full encryption of the security analysis is
+    # disabled here; Figures 7 and 8 keep the full deployable scheme.
+    return ModelEncryptionPlan.build(
+        model,
+        ratio,
+        input_shape=(3, input_size, input_size),
+        boundary_first_convs=0,
+        boundary_last_conv=False,
+        boundary_last_fc=False,
+    )
+
+
+def fig5_conv_layers(
+    *, ratio: float = 0.5, input_size: int = 32
+) -> LayerSweepResult:
+    """Figure 5: four typical VGG CONV layers (64/128/256/512 channels)."""
+    plan = _vgg_plan(ratio, input_size, boundary=False)
+    wanted_channels = (64, 128, 256, 512)
+    names: list[str] = []
+    labels: list[str] = []
+    for index, channels in enumerate(wanted_channels, start=1):
+        candidates = [
+            p
+            for p in plan.layers
+            if p.kind == "conv"
+            and p.weight_shape[0] == channels
+            and p.weight_shape[1] == channels
+        ]
+        if not candidates:
+            raise ValueError(f"no {channels}->{channels} CONV layer found")
+        names.append(candidates[0].name)
+        labels.append(f"CONV-{index}")
+    return _layer_sweep(
+        f"Fig 5: normalized IPC, VGG CONV layers (ratio {ratio:.0%})",
+        plan,
+        names,
+        labels,
+    )
+
+
+def fig6_pool_layers(
+    *, ratio: float = 0.5, input_size: int = 32
+) -> LayerSweepResult:
+    """Figure 6: the five VGG POOL layers."""
+    plan = _vgg_plan(ratio, input_size, boundary=False)
+    names = [p.name for p in plan.pools]
+    labels = [f"POOL-{i + 1}" for i in range(len(names))]
+    return _layer_sweep(
+        f"Fig 6: normalized IPC, VGG POOL layers (ratio {ratio:.0%})",
+        plan,
+        names,
+        labels,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7 and 8 (whole-model IPC and latency)
+# ----------------------------------------------------------------------
+@dataclass
+class ModelSweepResult:
+    """Whole-model results for all schemes × models."""
+
+    title: str
+    models: list[str]
+    results: dict[str, dict[str, ModelRunResult]] = field(repr=False, default_factory=dict)
+    normalized_ipc: dict[str, list[float]] = field(default_factory=dict)
+    normalized_latency: dict[str, list[float]] = field(default_factory=dict)
+
+    def report(self, *, metric: str = "ipc") -> str:
+        table = self.normalized_ipc if metric == "ipc" else self.normalized_latency
+        headers = ["scheme"] + [_PRETTY.get(m, m) for m in self.models]
+        rows = [[scheme] + values for scheme, values in table.items()]
+        return f"{self.title}\n" + ascii_table(headers, rows)
+
+    def seal_speedup(self, mode: str = "D") -> float:
+        """Mean SEAL-x IPC gain over its full-encryption counterpart."""
+        full = "Direct" if mode == "D" else "Counter"
+        seal = f"SEAL-{mode}"
+        ratios = [
+            s / f
+            for s, f in zip(self.normalized_ipc[seal], self.normalized_ipc[full])
+            if f
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def latency_reduction(self, mode: str = "D") -> float:
+        """Mean latency reduction of SEAL-x versus Direct/Counter."""
+        full = "Direct" if mode == "D" else "Counter"
+        seal = f"SEAL-{mode}"
+        reductions = [
+            1.0 - s / f
+            for s, f in zip(
+                self.normalized_latency[seal], self.normalized_latency[full]
+            )
+            if f
+        ]
+        return sum(reductions) / len(reductions) if reductions else 0.0
+
+
+def _model_sweep(
+    title: str,
+    models: tuple[str, ...],
+    *,
+    ratio: float,
+    input_size: int,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> ModelSweepResult:
+    sweep = ModelSweepResult(title=title, models=list(models))
+    for scheme in schemes:
+        sweep.normalized_ipc[scheme] = []
+        sweep.normalized_latency[scheme] = []
+    for model_name in models:
+        model = (
+            build_model(model_name, input_size=input_size)
+            if model_name == "vgg16"
+            else build_model(model_name)
+        )
+        plan = ModelEncryptionPlan.build(
+            model, ratio, input_shape=(3, input_size, input_size)
+        )
+        per_scheme: dict[str, ModelRunResult] = {}
+        baseline: ModelRunResult | None = None
+        for scheme in schemes:
+            result = run_model(plan, scheme)
+            per_scheme[scheme] = result
+            if baseline is None:
+                baseline = result
+            sweep.normalized_ipc[scheme].append(
+                result.ipc / baseline.ipc if baseline.ipc else 0.0
+            )
+            sweep.normalized_latency[scheme].append(
+                result.cycles / baseline.cycles if baseline.cycles else 0.0
+            )
+        sweep.results[model_name] = per_scheme
+    return sweep
+
+
+def fig7_overall_ipc(
+    models: tuple[str, ...] = MODEL_NAMES,
+    *,
+    ratio: float = 0.5,
+    input_size: int = 32,
+) -> ModelSweepResult:
+    """Figure 7: overall IPC for full-model inference, all schemes."""
+    return _model_sweep(
+        f"Fig 7: overall IPC normalized to Baseline (ratio {ratio:.0%})",
+        models,
+        ratio=ratio,
+        input_size=input_size,
+    )
+
+
+def fig8_latency(
+    models: tuple[str, ...] = MODEL_NAMES,
+    *,
+    ratio: float = 0.5,
+    input_size: int = 32,
+) -> ModelSweepResult:
+    """Figure 8: inference latency normalized to Baseline, all schemes."""
+    sweep = _model_sweep(
+        f"Fig 8: inference latency normalized to Baseline (ratio {ratio:.0%})",
+        models,
+        ratio=ratio,
+        input_size=input_size,
+    )
+    return sweep

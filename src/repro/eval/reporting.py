@@ -1,0 +1,72 @@
+"""Formatting helpers: paper-style ASCII tables and normalized series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "format_series", "normalize_to_first", "bar"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    materialized: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        materialized.append(cells)
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalize_to_first(values: Sequence[float]) -> list[float]:
+    """Divide every value by the first (the paper normalizes to Baseline)."""
+    if not values:
+        return []
+    reference = values[0]
+    if reference == 0:
+        return [0.0 for _ in values]
+    return [v / reference for v in values]
+
+
+def bar(fraction: float, width: int = 30) -> str:
+    """Inline text bar for quick visual comparison in terminal output."""
+    filled = max(0, min(width, int(round(fraction * width))))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_series(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    normalized: bool = False,
+    width: int = 30,
+) -> str:
+    """One figure series as labelled bars (the closest ASCII gets to the
+    paper's bar charts)."""
+    shown = normalize_to_first(values) if normalized else list(values)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, shown):
+        peak = max(shown) if shown else 1.0
+        fraction = value / peak if peak else 0.0
+        lines.append(f"  {label.ljust(label_width)}  {value:6.3f}  {bar(fraction, width)}")
+    return "\n".join(lines)

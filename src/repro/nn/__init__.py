@@ -1,0 +1,77 @@
+"""Numpy deep-learning substrate: autograd, layers, models, training, data."""
+
+from . import functional
+from .data import Dataset, SyntheticCIFAR10, batch_iterator, train_adversary_split
+from .layers import (
+    BasicBlock,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    AvgPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from .layers import set_init_rng, trace_dataflow
+from .models import (
+    LayerGeometry,
+    MODEL_BUILDERS,
+    build_model,
+    mlp,
+    model_geometry,
+    probe_shapes,
+    resnet18,
+    resnet34,
+    vgg16,
+)
+from .optim import Adam, CosineLR, Optimizer, SGD, StepLR
+from .tensor import Tensor, no_grad
+from .training import TrainReport, evaluate, fit, predict_labels, predict_logits, train_epoch
+
+__all__ = [
+    "functional",
+    "Dataset",
+    "SyntheticCIFAR10",
+    "batch_iterator",
+    "train_adversary_split",
+    "BasicBlock",
+    "BatchNorm2d",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "set_init_rng",
+    "trace_dataflow",
+    "LayerGeometry",
+    "MODEL_BUILDERS",
+    "build_model",
+    "mlp",
+    "model_geometry",
+    "probe_shapes",
+    "resnet18",
+    "resnet34",
+    "vgg16",
+    "Adam",
+    "CosineLR",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "Tensor",
+    "no_grad",
+    "TrainReport",
+    "evaluate",
+    "fit",
+    "predict_labels",
+    "predict_logits",
+    "train_epoch",
+]

@@ -1,0 +1,179 @@
+"""Synthetic CIFAR-10 substitute dataset and data utilities.
+
+The paper trains on CIFAR-10 (50,000 train / 10,000 test 32×32×3 images,
+10 classes), splits the training set 90%/10% between victim and adversary,
+and lets the adversary grow its 10% via Jacobian-based augmentation.
+
+No network access is available here, so :class:`SyntheticCIFAR10` generates
+a *class-structured* synthetic dataset with the same tensor geometry:
+
+* each class has a smooth low-frequency template image (random Fourier
+  coefficients) — classes are therefore separable but not trivially so;
+* every sample is its class template under a random spatial shift, a random
+  per-sample low-frequency distortion, and pixel noise, so within-class
+  variation forces real feature learning;
+* generation is fully deterministic given the seed.
+
+What the security experiments need from the dataset is (a) learnability,
+(b) a victim/adversary information gap, and (c) label information flowing
+through query access — all preserved.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Dataset", "SyntheticCIFAR10", "batch_iterator", "train_adversary_split"]
+
+IMAGE_SHAPE = (3, 32, 32)
+NUM_CLASSES = 10
+
+
+@dataclass
+class Dataset:
+    """A labelled image set: ``images`` (N,3,32,32) float32 in [0,1]."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have equal length")
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        return Dataset(self.images[indices], self.labels[indices])
+
+    def split(self, fraction: float, seed: int = 0) -> tuple["Dataset", "Dataset"]:
+        """Shuffle-split into (first ``fraction``, remainder)."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+
+def _low_frequency_field(
+    rng: np.random.Generator, size: int, num_modes: int, amplitude: float
+) -> np.ndarray:
+    """Random smooth 2-D field built from a few low-frequency cosines."""
+    ys, xs = np.meshgrid(np.linspace(0, 1, size), np.linspace(0, 1, size), indexing="ij")
+    field = np.zeros((size, size))
+    for _ in range(num_modes):
+        fy, fx = rng.integers(1, 4, size=2)
+        phase_y, phase_x = rng.uniform(0, 2 * np.pi, size=2)
+        weight = rng.normal(0, amplitude)
+        field += weight * np.cos(2 * np.pi * fy * ys + phase_y) * np.cos(
+            2 * np.pi * fx * xs + phase_x
+        )
+    return field
+
+
+class SyntheticCIFAR10:
+    """Deterministic generator of a CIFAR-10-shaped synthetic dataset.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the whole dataset (templates and samples).
+    noise:
+        Per-pixel Gaussian noise sigma.  Larger values make the task harder
+        (more samples/epochs needed), smaller values make class templates
+        easy to recover.
+    distortion:
+        Amplitude of the per-sample smooth distortion field.
+    max_shift:
+        Maximum absolute spatial shift (circular) in pixels.
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        noise: float = 0.25,
+        distortion: float = 0.35,
+        max_shift: int = 3,
+    ) -> None:
+        self.seed = seed
+        self.noise = noise
+        self.distortion = distortion
+        self.max_shift = max_shift
+        template_rng = np.random.default_rng(seed)
+        c, h, w = IMAGE_SHAPE
+        self.templates = np.zeros((NUM_CLASSES, c, h, w), dtype=np.float64)
+        for class_index in range(NUM_CLASSES):
+            for channel in range(c):
+                self.templates[class_index, channel] = _low_frequency_field(
+                    template_rng, h, num_modes=6, amplitude=0.5
+                )
+        # Normalise templates to zero mean / unit max-abs per class.
+        for class_index in range(NUM_CLASSES):
+            t = self.templates[class_index]
+            t -= t.mean()
+            peak = np.abs(t).max()
+            if peak > 0:
+                t /= peak
+
+    def sample(self, count: int, seed: int) -> Dataset:
+        """Generate ``count`` labelled samples deterministically."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        rng = np.random.default_rng((self.seed, seed))
+        labels = rng.integers(0, NUM_CLASSES, size=count)
+        c, h, w = IMAGE_SHAPE
+        images = np.empty((count, c, h, w), dtype=np.float32)
+        for index, label in enumerate(labels):
+            base = self.templates[label].copy()
+            shift_y, shift_x = rng.integers(-self.max_shift, self.max_shift + 1, size=2)
+            base = np.roll(base, (int(shift_y), int(shift_x)), axis=(1, 2))
+            if self.distortion:
+                warp = _low_frequency_field(rng, h, num_modes=3, amplitude=self.distortion)
+                base += warp[None, :, :]
+            base += rng.normal(0, self.noise, size=base.shape)
+            images[index] = (0.5 + 0.5 * np.clip(base, -1.5, 1.5) / 1.5).astype(np.float32)
+        return Dataset(images, labels)
+
+    def standard_splits(
+        self,
+        train_size: int = 2000,
+        test_size: int = 500,
+    ) -> tuple[Dataset, Dataset]:
+        """(train, test) with disjoint sample seeds, scaled-down CIFAR sizes."""
+        return self.sample(train_size, seed=1), self.sample(test_size, seed=2)
+
+
+def train_adversary_split(
+    train: Dataset, victim_fraction: float = 0.9, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """The paper's split: 90% of the training set for the victim, 10% for
+    the adversary's initial query seed (Section III-B.1)."""
+    return train.split(victim_fraction, seed=seed)
+
+
+def batch_iterator(
+    dataset: Dataset,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    seed: int = 0,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (images, labels) minibatches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(dataset))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        chunk = indices[start : start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        yield dataset.images[chunk], dataset.labels[chunk]

@@ -1,0 +1,300 @@
+"""Neural-network operators (conv, pool, batchnorm, losses) with autograd.
+
+Convolution is implemented by im2col + GEMM — the same lowering the paper's
+GPU workloads use (Section IV models CONV layers as tiled matrix
+multiplication), which keeps the performance model in :mod:`repro.sim`
+faithful to the functional model here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _sliding_windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """View of shape (N, C, H_out, W_out, kernel, kernel) over ``x``.
+
+    Zero-copy via stride tricks; callers must not write through the view.
+    """
+    n, c, h, w = x.shape
+    h_out = (h - kernel) // stride + 1
+    w_out = (w - kernel) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower an image batch into the GEMM operand matrix.
+
+    Returns an array of shape ``(N * H_out * W_out, C * kernel * kernel)``
+    whose rows are flattened receptive fields.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = _sliding_windows(x, kernel, stride)
+    n, c, h_out, w_out, _, _ = windows.shape
+    # (N, H_out, W_out, C, k, k) -> rows are receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * h_out * w_out, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col` (used by conv backward)."""
+    n, c, h, w = x_shape
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    h_out = (h_pad - kernel) // stride + 1
+    w_out = (w_pad - kernel) // stride + 1
+    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, h_out, w_out, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    # cols6: (N, C, k, k, H_out, W_out); add each kernel offset in bulk.
+    for ki in range(kernel):
+        i_max = ki + stride * h_out
+        for kj in range(kernel):
+            j_max = kj + stride * w_out
+            x_pad[:, :, ki:i_max:stride, kj:j_max:stride] += cols6[:, :, ki, kj]
+    if padding:
+        return x_pad[:, :, padding:-padding, padding:-padding]
+    return x_pad
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution, NCHW layout, square kernels.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)`` — in the
+    paper's terminology each ``weight[:, j]`` slice is *kernel row j* (the
+    row of the kernel matrix corresponding to input channel ``j``).
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kernel, kernel2 = weight.shape
+    if kernel != kernel2:
+        raise ValueError("only square kernels are supported")
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+
+    cols = im2col(x.data, kernel, stride, padding)  # (N*H_out*W_out, C_in*k*k)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*k*k)
+    out_mat = cols @ w_mat.T  # (N*H_out*W_out, C_out)
+    if bias is not None:
+        out_mat = out_mat + bias.data
+    out_data = out_mat.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if weight.requires_grad:
+            grad_w = (grad_mat.T @ cols).reshape(weight.shape)
+            Tensor._accumulate(weight, grad_w)
+        if bias is not None and bias.requires_grad:
+            Tensor._accumulate(bias, grad_mat.sum(axis=0))
+        if x.requires_grad:
+            grad_cols = grad_mat @ w_mat
+            Tensor._accumulate(x, col2im(grad_cols, x.shape, kernel, stride, padding))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with weight shape (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    windows = _sliding_windows(x.data, kernel, stride)
+    n_, c_, h_out, w_out, _, _ = windows.shape
+    flat = windows.reshape(n, c, h_out, w_out, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kernel)
+        n_idx, c_idx, i_idx, j_idx = np.indices(arg.shape)
+        rows = i_idx * stride + ki
+        cols_ = j_idx * stride + kj
+        np.add.at(grad_x, (n_idx, c_idx, rows, cols_), grad)
+        Tensor._accumulate(x, grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows."""
+    stride = stride or kernel
+    windows = _sliding_windows(x.data, kernel, stride)
+    out_data = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        h_out, w_out = grad.shape[2], grad.shape[3]
+        for ki in range(kernel):
+            for kj in range(kernel):
+                grad_x[:, :, ki : ki + stride * h_out : stride,
+                       kj : kj + stride * w_out : stride] += grad * scale
+        Tensor._accumulate(x, grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    *,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over (N, H, W) per channel.
+
+    ``running_mean``/``running_var`` are updated in place while training,
+    matching the standard exponential-moving-average semantics.
+    """
+    n, c, h, w = x.shape
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        count = n * h * w
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out_data = gamma.data[None, :, None, None] * x_hat + beta.data[None, :, None, None]
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            Tensor._accumulate(gamma, (grad * x_hat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            Tensor._accumulate(beta, grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            g = grad * gamma.data[None, :, None, None]
+            if training:
+                count = n * h * w
+                sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+                sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+                grad_x = (
+                    inv_std[None, :, None, None]
+                    * (g - sum_g / count - x_hat * sum_gx / count)
+                )
+            else:
+                grad_x = g * inv_std[None, :, None, None]
+            Tensor._accumulate(x, grad_x)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            grad_sum = grad.sum(axis=axis, keepdims=True)
+            Tensor._accumulate(logits, grad - softmax_data * grad_sum)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax probabilities."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    *,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Mean cross-entropy between logits and integer (or one-hot) targets."""
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    n, num_classes = logits.shape
+    if targets.ndim == 1:
+        one_hot = np.zeros((n, num_classes))
+        one_hot[np.arange(n), targets.astype(int)] = 1.0
+    else:
+        one_hot = targets.astype(np.float64)
+    if label_smoothing:
+        one_hot = (
+            one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
+        )
+    target_tensor = Tensor(one_hot)
+    return -(log_probs * target_tensor).sum() * (1.0 / n)

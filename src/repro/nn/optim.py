@@ -1,0 +1,158 @@
+"""Optimizers and learning-rate schedules for the numpy framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list.
+
+    Substitute-model fine-tuning (Section III-B of the paper) freezes the
+    *known* plaintext weights and updates only the unknown ones; passing a
+    filtered parameter list — or per-parameter ``freeze_mask`` arrays via
+    :meth:`set_freeze_mask` — implements both styles.
+    """
+
+    def __init__(self, params: list[Tensor], lr: float) -> None:
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self._freeze_masks: dict[int, np.ndarray] = {}
+
+    def set_freeze_mask(self, param: Tensor, mask: np.ndarray) -> None:
+        """Freeze the entries of ``param`` where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != param.shape:
+            raise ValueError(f"mask shape {mask.shape} != param shape {param.shape}")
+        self._freeze_masks[id(param)] = mask
+
+    def _effective_grad(self, param: Tensor) -> np.ndarray | None:
+        if param.grad is None:
+            return None
+        mask = self._freeze_masks.get(id(param))
+        if mask is None:
+            return param.grad
+        return np.where(mask, 0.0, param.grad)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity += grad
+            update = grad + self.momentum * velocity if self.nesterov else velocity
+            mask = self._freeze_masks.get(id(param))
+            if mask is not None:
+                update = np.where(mask, 0.0, update)
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            mask = self._freeze_masks.get(id(param))
+            if mask is not None:
+                update = np.where(mask, 0.0, update)
+            param.data -= self.lr * update
+
+
+class StepLR:
+    """Multiply the optimizer LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cos = 0.5 * (1.0 + np.cos(np.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos

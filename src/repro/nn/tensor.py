@@ -1,0 +1,447 @@
+"""Reverse-mode autograd tensor on numpy.
+
+The security experiments of the paper (substitute-model retraining,
+Jacobian-based dataset augmentation, I-FGSM adversarial examples) all need
+gradients — including gradients *with respect to the input image* — so the
+reproduction ships a small but complete tape-based autograd engine rather
+than hand-written per-layer backward passes.
+
+Design notes
+------------
+* A :class:`Tensor` wraps one ``numpy.ndarray``.  Operations build a DAG;
+  :meth:`Tensor.backward` runs a topological sweep accumulating ``grad``.
+* Broadcasting is supported everywhere numpy broadcasts; gradients are
+  reduced back to the operand shape with :func:`unbroadcast`.
+* Convolutions and pooling live in :mod:`repro.nn.functional` and register
+  their backward closures through the same mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as ``float64`` by default for gradient-check
+        fidelity (``float32`` works too and is what training uses).
+    requires_grad:
+        Whether gradients should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make numpy defer to our __radd__ etc.
+
+    def __init__(
+        self,
+        data: object,
+        requires_grad: bool = False,
+        *,
+        parents: Sequence["Tensor"] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64 if not isinstance(data, np.ndarray) else None)
+        if self.data.dtype not in (np.float32, np.float64):
+            self.data = self.data.astype(np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = backward
+        self._parents: tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def _accumulate(tensor: "Tensor", grad: np.ndarray) -> None:
+        if not tensor.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad), tensor.shape)
+        if tensor.grad is None:
+            tensor.grad = grad.astype(tensor.data.dtype, copy=True)
+        else:
+            tensor.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (only valid for scalars, matching the
+        common ``loss.backward()`` idiom).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(self, np.asarray(grad))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: object) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float64))
+
+    def __add__(self, other: object) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad)
+            Tensor._accumulate(other, grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, -grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: object) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: object) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * other.data)
+            Tensor._accumulate(other, grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad / other.data)
+            Tensor._accumulate(other, -grad * self.data / (other.data**2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: object) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                Tensor._accumulate(self, grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                Tensor._accumulate(other, np.swapaxes(self.data, -1, -2) @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad.reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes_tuple))
+        out_data = self.data.transpose(axes_tuple)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                Tensor._accumulate(self, full)
+
+        return self._make(out_data, (self,), backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
+        out_data = np.pad(self.data, pad_width)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = tuple(
+                slice(None) for _ in range(self.ndim - 2)
+            ) + (slice(padding, -padding), slice(padding, -padding))
+            Tensor._accumulate(self, grad[slices])
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            Tensor._accumulate(self, np.broadcast_to(g, self.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        argmax = self.data.argmax(axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            full = np.zeros_like(self.data)
+            np.put_along_axis(
+                full, np.expand_dims(argmax, axis), g, axis=axis
+            )
+            Tensor._accumulate(self, full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            Tensor._accumulate(self, grad * sign)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False, dtype: np.dtype = np.float64) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False, dtype: np.dtype = np.float64) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                Tensor._accumulate(tensor, grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tensors, backward)

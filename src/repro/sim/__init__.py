@@ -1,0 +1,70 @@
+"""GPU + encrypted-memory-system simulator (GPGPU-Sim-style substrate)."""
+
+from .config import (
+    GTX480_CONFIG,
+    EncryptionConfig,
+    EncryptionMode,
+    GpuConfig,
+    gtx480_config,
+)
+from .gpu import GpuSimulator, SimResult
+from .memctrl import MemoryController, MemoryControllerStats
+from .request import Access, MemRequest
+from .runner import (
+    SCHEMES,
+    ModelRunResult,
+    compare_schemes,
+    fully_encrypted,
+    plaintext_traffic,
+    run_layer,
+    run_model,
+    scheme_config,
+)
+from .sm import SmState, SmStats, TileStep
+from .roofline import RooflinePrediction, predict_streams
+from .trace import TraceStats, dump_streams, load_streams, trace_stats
+from .workloads import (
+    DEFAULT_TILE,
+    gemm_layer_streams,
+    layer_streams,
+    matmul_streams,
+    matmul_traffic,
+    pool_layer_streams,
+)
+
+__all__ = [
+    "GTX480_CONFIG",
+    "EncryptionConfig",
+    "EncryptionMode",
+    "GpuConfig",
+    "gtx480_config",
+    "GpuSimulator",
+    "SimResult",
+    "MemoryController",
+    "MemoryControllerStats",
+    "Access",
+    "MemRequest",
+    "SCHEMES",
+    "ModelRunResult",
+    "compare_schemes",
+    "fully_encrypted",
+    "plaintext_traffic",
+    "run_layer",
+    "run_model",
+    "scheme_config",
+    "RooflinePrediction",
+    "predict_streams",
+    "TraceStats",
+    "dump_streams",
+    "load_streams",
+    "trace_stats",
+    "SmState",
+    "SmStats",
+    "TileStep",
+    "DEFAULT_TILE",
+    "gemm_layer_streams",
+    "layer_streams",
+    "matmul_streams",
+    "matmul_traffic",
+    "pool_layer_streams",
+]

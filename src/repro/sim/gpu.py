@@ -1,0 +1,196 @@
+"""Top-level GPU simulator: SMs + address-interleaved memory controllers.
+
+A discrete-event simulation over continuous time: SM events are processed
+in global time order from a heap, so memory controllers see request streams
+interleaved the way concurrently executing SMs would interleave them.  The
+result is an IPC figure comparable across encryption schemes — exactly the
+measurement the paper's Figures 1 and 5–8 report (always normalized to the
+unencrypted baseline).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .config import EncryptionMode, GpuConfig
+from .memctrl import MemoryController
+from .request import MemRequest
+from .sm import SmState, SmStats, TileStep
+
+__all__ = ["SimResult", "GpuSimulator"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one kernel (or layer-sequence) simulation."""
+
+    label: str
+    cycles: float
+    instructions: int
+    num_sms: int
+    data_bytes: int
+    counter_fetch_bytes: int
+    encrypted_bytes: int
+    bypass_bytes: int
+    dram_utilization: float
+    engine_utilization: float
+    counter_hit_rate: float
+    sm_stats: tuple[SmStats, ...] = field(repr=False, default=())
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def achieved_bandwidth_fraction(self) -> float:
+        return self.dram_utilization
+
+    def normalized_ipc(self, baseline: "SimResult") -> float:
+        """IPC relative to an unencrypted baseline run of the same work."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def latency_ratio(self, baseline: "SimResult") -> float:
+        """Execution-time ratio versus the baseline (same work assumed)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles
+
+
+class GpuSimulator:
+    """Simulate one GPU configuration executing per-SM step streams."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        self.config = config
+        self.controllers = [
+            MemoryController(channel, config) for channel in range(config.num_channels)
+        ]
+
+    # ------------------------------------------------------------------
+    def _route(self, request: MemRequest) -> MemoryController:
+        """Line-interleaved address mapping across channels."""
+        channel = (request.address // self.config.line_bytes) % self.config.num_channels
+        return self.controllers[channel]
+
+    def _issue(self, requests: tuple[MemRequest, ...], when: float) -> float:
+        """Submit requests; return the time the last response arrives.
+
+        At most ``max_outstanding_per_sm`` requests are in flight per SM
+        (the MSHR limit); excess requests wait for the previous wave.
+        """
+        cap = max(1, self.config.max_outstanding_per_sm)
+        done = when
+        for start in range(0, len(requests), cap):
+            wave_start = done if start else when
+            wave_done = wave_start
+            for request in requests[start : start + cap]:
+                wave_done = max(
+                    wave_done, self._route(request).submit(request, wave_start)
+                )
+            done = wave_done
+        return done
+
+    # ------------------------------------------------------------------
+    def run(self, streams: list[list[TileStep]], label: str = "") -> SimResult:
+        """Execute one stream of tile steps per SM to completion.
+
+        ``streams`` shorter than ``num_sms`` leave the remaining SMs idle
+        (small kernels do not fill the machine, exactly as on hardware).
+        """
+        if len(streams) > self.config.num_sms:
+            raise ValueError(
+                f"{len(streams)} streams for {self.config.num_sms} SMs"
+            )
+        sms = [SmState(sm_id=i, steps=list(stream)) for i, stream in enumerate(streams)]
+
+        event_heap: list[tuple[float, int]] = []
+        for sm in sms:
+            if sm.done:
+                continue
+            # Prefetch the first step's operands at t=0.
+            sm.ready_time = self._issue(sm.steps[0].reads, 0.0)
+            sm.stats.read_requests += len(sm.steps[0].reads)
+            heapq.heappush(event_heap, (sm.next_event_time, sm.sm_id))
+
+        finish_time = 0.0
+        while event_heap:
+            event_time, sm_id = heapq.heappop(event_heap)
+            sm = sms[sm_id]
+            if sm.done:
+                continue
+            step = sm.steps[sm.next_step]
+            start = max(event_time, sm.next_event_time)
+            end = start + step.compute_cycles
+            sm.stats.instructions += step.instructions
+            sm.stats.busy_cycles += step.compute_cycles
+            sm.stats.steps += 1
+            # Results are written back when compute finishes.
+            if step.writes:
+                sm.last_write_done = max(
+                    sm.last_write_done, self._issue(step.writes, end)
+                )
+                sm.stats.write_requests += len(step.writes)
+            sm.compute_end = end
+            sm.next_step += 1
+            if not sm.done:
+                # Double buffering: prefetch the next step during compute.
+                next_step = sm.steps[sm.next_step]
+                sm.ready_time = self._issue(next_step.reads, start)
+                sm.stats.read_requests += len(next_step.reads)
+                heapq.heappush(event_heap, (sm.next_event_time, sm.sm_id))
+            else:
+                finish_time = max(finish_time, end, sm.last_write_done)
+
+        for sm in sms:
+            finish_time = max(finish_time, sm.compute_end, sm.last_write_done)
+
+        return self._collect(label, finish_time, sms)
+
+    # ------------------------------------------------------------------
+    def _collect(self, label: str, cycles: float, sms: list[SmState]) -> SimResult:
+        data_bytes = sum(mc.stats.data_bytes for mc in self.controllers)
+        counter_bytes = sum(mc.stats.counter_fetch_bytes for mc in self.controllers)
+        encrypted = sum(mc.stats.encrypted_bytes for mc in self.controllers)
+        bypass = sum(mc.stats.bypass_bytes for mc in self.controllers)
+        dram_util = (
+            sum(mc.utilization(cycles) for mc in self.controllers)
+            / len(self.controllers)
+            if cycles
+            else 0.0
+        )
+        engine_util = 0.0
+        if self.config.encryption.enabled and cycles:
+            engine_util = sum(
+                mc.engine.utilization(int(cycles))
+                for mc in self.controllers
+                if mc.engine is not None
+            ) / len(self.controllers)
+        hit_rate = float("nan")
+        if self.config.encryption.mode is EncryptionMode.COUNTER:
+            hits = sum(
+                mc.counter_cache.stats.hits
+                for mc in self.controllers
+                if mc.counter_cache
+            )
+            accesses = sum(
+                mc.counter_cache.stats.accesses
+                for mc in self.controllers
+                if mc.counter_cache
+            )
+            hit_rate = hits / accesses if accesses else 0.0
+        return SimResult(
+            label=label or self.config.encryption.label(),
+            cycles=cycles,
+            instructions=sum(sm.stats.instructions for sm in sms),
+            num_sms=len(sms),
+            data_bytes=data_bytes,
+            counter_fetch_bytes=counter_bytes,
+            encrypted_bytes=encrypted,
+            bypass_bytes=bypass,
+            dram_utilization=dram_util,
+            engine_utilization=engine_util,
+            counter_hit_rate=hit_rate,
+            sm_stats=tuple(sm.stats for sm in sms),
+        )

@@ -1,0 +1,205 @@
+"""Memory controller with DRAM timing, AES engine, and counter cache.
+
+Each controller owns one GDDR5 channel and (when encryption is on) one AES
+engine — the paper's configuration of one engine per memory controller.
+Components are modelled as *rate servers* in continuous time: a server has
+a ``next_free`` timestamp that advances by ``bytes / rate`` per accepted
+request, which yields exact queueing-at-full-load behaviour (the regime the
+paper's bandwidth-gap argument lives in) while staying fast enough to
+simulate full model inferences in Python.
+
+Request paths (read):
+
+* plaintext            : DRAM only.
+* direct encryption    : DRAM → AES engine (decryption is serial on the
+  critical path, adding engine latency *and* occupying engine throughput).
+* counter encryption   : counter-cache lookup in parallel with the DRAM
+  access; on a hit the pad is generated while DRAM works (latency mostly
+  hidden, throughput still consumed); on a miss the counter block is first
+  fetched from DRAM (extra traffic + serialization) — the effect that makes
+  Counter no faster than Direct in Figure 1.
+
+Writes mirror the read paths (encrypt before DRAM; counter writes bump the
+counter, possibly missing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.counter_cache import CounterCache
+from ..crypto.engine import AesEngineModel
+from .config import EncryptionMode, GpuConfig
+from .request import MemRequest
+
+__all__ = ["MemoryControllerStats", "MemoryController"]
+
+_COUNTER_BLOCK_BYTES = 64
+
+
+@dataclass
+class MemoryControllerStats:
+    """Per-controller accounting for bandwidth/utilization reporting."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    data_bytes: int = 0
+    counter_fetch_bytes: int = 0
+    mac_bytes: int = 0
+    encrypted_bytes: int = 0
+    bypass_bytes: int = 0
+    dram_busy_cycles: float = 0.0
+    engine_busy_cycles: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.counter_fetch_bytes + self.mac_bytes
+
+
+class _RateServer:
+    """FCFS server with service rate in bytes/cycle and a fixed latency."""
+
+    def __init__(self, bytes_per_cycle: float, latency: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = bytes_per_cycle
+        self.latency = latency
+        self.next_free = 0.0
+        self.busy = 0.0
+
+    def service(self, arrival: float, size: int) -> float:
+        """Admit ``size`` bytes at ``arrival``; return completion time."""
+        start = max(arrival, self.next_free)
+        occupancy = size / self.rate
+        self.next_free = start + occupancy
+        self.busy += occupancy
+        return start + occupancy + self.latency
+
+    def reset(self) -> None:
+        self.next_free = 0.0
+        self.busy = 0.0
+
+
+class MemoryController:
+    """One channel: DRAM rate server + row-buffer model + AES engine."""
+
+    def __init__(self, channel_id: int, config: GpuConfig) -> None:
+        self.channel_id = channel_id
+        self.config = config
+        self._dram = _RateServer(
+            config.channel_bytes_per_cycle, config.dram_latency_cycles
+        )
+        self.stats = MemoryControllerStats()
+        encryption = config.encryption
+        self._mode = encryption.mode
+        self.engine: AesEngineModel | None = None
+        self.counter_cache: CounterCache | None = None
+        if encryption.enabled:
+            self.engine = AesEngineModel(encryption.engine, config.core_clock_ghz)
+            if self._mode is EncryptionMode.COUNTER:
+                self.counter_cache = CounterCache(encryption.counter_cache)
+        self._last_row: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _dram_access(self, arrival: float, address: int, size: int) -> float:
+        """One DRAM transfer, with a simple per-bank row-buffer penalty."""
+        bank = (address // self.config.row_buffer_bytes) % self.config.banks_per_channel
+        row = address // (self.config.row_buffer_bytes * self.config.banks_per_channel)
+        penalty = 0.0
+        if self._last_row.get(bank) != row:
+            self._last_row[bank] = row
+            penalty = self.config.row_miss_penalty_cycles
+        done = self._dram.service(arrival + penalty, size)
+        self.stats.dram_busy_cycles = self._dram.busy
+        return done
+
+    def _counter_lookup(self, arrival: float, request: MemRequest) -> float:
+        """Resolve the counters covering ``request``; return availability time.
+
+        One lookup per cache line; every miss fetches a 64-byte counter
+        block from DRAM (extra traffic, serialized before pad generation).
+        """
+        assert self.counter_cache is not None
+        available = arrival
+        line_bytes = self.config.line_bytes
+        first_line = request.address // line_bytes
+        for line in range(request.lines(line_bytes)):
+            line_address = (first_line + line) * line_bytes
+            hit = self.counter_cache.access(line_address, write=not request.is_read)
+            if not hit:
+                fetch_done = self._dram_access(
+                    arrival, line_address, _COUNTER_BLOCK_BYTES
+                )
+                self.stats.counter_fetch_bytes += _COUNTER_BLOCK_BYTES
+                available = max(available, fetch_done)
+        return available
+
+    # ------------------------------------------------------------------
+    def submit(self, request: MemRequest, arrival: float) -> float:
+        """Process one request; return its completion cycle."""
+        if request.is_read:
+            self.stats.read_requests += 1
+        else:
+            self.stats.write_requests += 1
+        self.stats.data_bytes += request.size
+
+        needs_crypto = request.encrypted and self._mode is not EncryptionMode.NONE
+        if not needs_crypto:
+            self.stats.bypass_bytes += request.size
+            return self._dram_access(arrival, request.address, request.size)
+
+        self.stats.encrypted_bytes += request.size
+        assert self.engine is not None
+
+        if self._mode is EncryptionMode.DIRECT:
+            if request.is_read:
+                # Fetch ciphertext, then decrypt serially.
+                data_done = self._dram_access(arrival, request.address, request.size)
+                done = self.engine.service(int(data_done), request.size)
+            else:
+                # Encrypt, then write ciphertext to DRAM.
+                cipher_done = self.engine.service(int(arrival), request.size)
+                done = self._dram_access(cipher_done, request.address, request.size)
+        else:
+            # Counter mode: pad generation overlaps the data access once
+            # the counter is available.
+            counter_ready = self._counter_lookup(arrival, request)
+            pad_done = self.engine.service(int(counter_ready), request.size)
+            if request.is_read:
+                data_done = self._dram_access(arrival, request.address, request.size)
+                done = max(data_done, pad_done) + 1.0  # final XOR
+            else:
+                done = self._dram_access(pad_done, request.address, request.size)
+
+        done = self._authenticate(request, arrival, done)
+        self.stats.engine_busy_cycles = self.engine.busy_cycles
+        return done
+
+    def _authenticate(
+        self, request: MemRequest, arrival: float, done: float
+    ) -> float:
+        """Per-line MAC traffic and verification (when enabled)."""
+        encryption = self.config.encryption
+        if not encryption.authenticate:
+            return done
+        mac_size = request.lines(self.config.line_bytes) * encryption.mac_bytes
+        self.stats.mac_bytes += mac_size
+        if request.is_read:
+            # Tag fetch overlaps the data access; verification follows it.
+            tag_done = self._dram_access(arrival, request.address ^ (1 << 40), mac_size)
+            return max(done, tag_done) + encryption.mac_verify_cycles
+        # Writes compute and store the tag after the data leaves.
+        tag_done = self._dram_access(done, request.address ^ (1 << 40), mac_size)
+        return tag_done
+
+    # ------------------------------------------------------------------
+    @property
+    def counter_hit_rate(self) -> float:
+        if self.counter_cache is None:
+            return float("nan")
+        return self.counter_cache.stats.hit_rate
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._dram.busy / elapsed)

@@ -1,0 +1,94 @@
+"""Analytical roofline model — a cross-check on the event simulator.
+
+The paper's bandwidth-gap argument is a roofline argument: a kernel's
+steady-state time is bounded below by its compute time, its DRAM time, and
+(when encrypted) its AES-engine time, and the largest bound wins.  This
+module computes those bounds from a lowered workload's trace statistics,
+so the discrete-event results in :mod:`repro.sim.gpu` can be validated
+against first principles (see ``tests/sim/test_roofline.py``): in the
+saturated regimes the DES must approach the roofline, and it can never
+beat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import EncryptionMode, GpuConfig
+from .sm import TileStep
+from .trace import TraceStats, trace_stats
+
+__all__ = ["RooflinePrediction", "predict", "predict_streams"]
+
+
+@dataclass(frozen=True)
+class RooflinePrediction:
+    """Lower-bound execution time and the binding resource."""
+
+    compute_cycles: float
+    dram_cycles: float
+    engine_cycles: float
+    instructions: int
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.dram_cycles, self.engine_cycles)
+
+    @property
+    def bottleneck(self) -> str:
+        bounds = {
+            "compute": self.compute_cycles,
+            "dram": self.dram_cycles,
+            "engine": self.engine_cycles,
+        }
+        return max(bounds, key=bounds.get)
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.cycles
+        return self.instructions / cycles if cycles else 0.0
+
+
+def predict(stats: TraceStats, config: GpuConfig, *, active_sms: int | None = None) -> RooflinePrediction:
+    """Roofline bounds for a workload with the given trace statistics.
+
+    * compute: total busy cycles spread over the active SMs;
+    * DRAM: total bytes (plus counter-fetch overhead in counter mode,
+      approximated as one 64-byte block per 4 KB of encrypted data) over
+      aggregate channel bandwidth;
+    * engine: encrypted bytes over aggregate engine bandwidth (zero when
+      encryption is off).
+    """
+    active = active_sms or config.num_sms
+    compute = stats.compute_cycles / active
+
+    dram_bytes = float(stats.total_bytes)
+    encryption = config.encryption
+    engine = 0.0
+    if encryption.enabled:
+        engine_rate = config.engine_bytes_per_cycle * config.num_channels
+        engine = stats.encrypted_bytes / engine_rate
+        if encryption.mode is EncryptionMode.COUNTER:
+            dram_bytes += stats.encrypted_bytes / 4096 * 64
+        if encryption.authenticate:
+            dram_bytes += (
+                stats.encrypted_bytes
+                / config.line_bytes
+                * encryption.mac_bytes
+            )
+    dram_rate = config.channel_bytes_per_cycle * config.num_channels
+    dram = dram_bytes / dram_rate
+    return RooflinePrediction(
+        compute_cycles=compute,
+        dram_cycles=dram,
+        engine_cycles=engine,
+        instructions=stats.instructions,
+    )
+
+
+def predict_streams(
+    streams: list[list[TileStep]], config: GpuConfig
+) -> RooflinePrediction:
+    """Roofline prediction straight from lowered per-SM streams."""
+    active = sum(1 for stream in streams if stream)
+    return predict(trace_stats(streams), config, active_sms=active or None)

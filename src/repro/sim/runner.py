@@ -1,0 +1,189 @@
+"""Experiment runner: whole models under the paper's five schemes.
+
+The evaluation compares **Baseline** (no encryption), **Direct**,
+**Counter** (straightforward full encryption, Section II-B), and
+**SEAL-D** / **SEAL-C** (smart encryption over direct/counter engines,
+Section IV-A).  This module lowers a model's layer sequence once per scheme
+and simulates layer by layer; layers execute back to back (an inference is
+a dependent layer chain), so end-to-end latency is the sum of layer times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plan import LayerTraffic, ModelEncryptionPlan
+from ..core.memory import SecureHeap
+from ..nn.layers import Module
+from .config import EncryptionMode, GpuConfig, gtx480_config
+from .gpu import GpuSimulator, SimResult
+from .workloads import DEFAULT_TILE, layer_streams
+
+__all__ = [
+    "SCHEMES",
+    "traffic_for_scheme",
+    "scheme_config",
+    "fully_encrypted",
+    "plaintext_traffic",
+    "run_layer",
+    "ModelRunResult",
+    "run_model",
+    "compare_schemes",
+]
+
+#: Scheme labels in the paper's figure order.
+SCHEMES = ("Baseline", "Direct", "Counter", "SEAL-D", "SEAL-C")
+
+
+def scheme_config(name: str, *, counter_cache_kb: int = 96) -> GpuConfig:
+    """GTX480 configuration for one of the paper's five schemes."""
+    table = {
+        "Baseline": (EncryptionMode.NONE, False),
+        "Direct": (EncryptionMode.DIRECT, False),
+        "Counter": (EncryptionMode.COUNTER, False),
+        "SEAL-D": (EncryptionMode.DIRECT, True),
+        "SEAL-C": (EncryptionMode.COUNTER, True),
+    }
+    try:
+        mode, selective = table[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; choose from {SCHEMES}") from None
+    return gtx480_config(mode, selective=selective, counter_cache_kb=counter_cache_kb)
+
+
+def fully_encrypted(traffic: LayerTraffic) -> LayerTraffic:
+    """Traffic record with every byte marked critical (Direct/Counter)."""
+    return LayerTraffic(
+        name=traffic.name,
+        kind=traffic.kind,
+        macs=traffic.macs,
+        weight_bytes_encrypted=traffic.weight_bytes_encrypted + traffic.weight_bytes_plain,
+        weight_bytes_plain=0,
+        input_bytes_encrypted=traffic.input_bytes_encrypted + traffic.input_bytes_plain,
+        input_bytes_plain=0,
+        output_bytes_encrypted=traffic.output_bytes_encrypted + traffic.output_bytes_plain,
+        output_bytes_plain=0,
+        gemm_m=traffic.gemm_m,
+        gemm_n=traffic.gemm_n,
+        gemm_k=traffic.gemm_k,
+    )
+
+
+def plaintext_traffic(traffic: LayerTraffic) -> LayerTraffic:
+    """Traffic record with no byte marked critical (Baseline tagging)."""
+    return LayerTraffic(
+        name=traffic.name,
+        kind=traffic.kind,
+        macs=traffic.macs,
+        weight_bytes_encrypted=0,
+        weight_bytes_plain=traffic.weight_bytes_encrypted + traffic.weight_bytes_plain,
+        input_bytes_encrypted=0,
+        input_bytes_plain=traffic.input_bytes_encrypted + traffic.input_bytes_plain,
+        output_bytes_encrypted=0,
+        output_bytes_plain=traffic.output_bytes_encrypted + traffic.output_bytes_plain,
+        gemm_m=traffic.gemm_m,
+        gemm_n=traffic.gemm_n,
+        gemm_k=traffic.gemm_k,
+    )
+
+
+def traffic_for_scheme(traffic: LayerTraffic, scheme: str) -> LayerTraffic:
+    """Tag a layer's traffic for one scheme: Baseline strips criticality,
+    Direct/Counter mark everything critical, SEAL keeps the plan's split."""
+    if scheme in ("Direct", "Counter"):
+        return fully_encrypted(traffic)
+    if scheme == "Baseline":
+        return plaintext_traffic(traffic)
+    return traffic  # SEAL keeps the plan's split
+
+
+def run_layer(
+    traffic: LayerTraffic,
+    scheme: str,
+    *,
+    counter_cache_kb: int = 96,
+    tile: int = DEFAULT_TILE,
+    config: GpuConfig | None = None,
+) -> SimResult:
+    """Simulate one layer under one scheme; returns the kernel result."""
+    config = config or scheme_config(scheme, counter_cache_kb=counter_cache_kb)
+    simulator = GpuSimulator(config)
+    streams = layer_streams(
+        config, traffic_for_scheme(traffic, scheme), tile=tile, heap=SecureHeap()
+    )
+    return simulator.run(streams, label=f"{traffic.name}/{scheme}")
+
+
+@dataclass
+class ModelRunResult:
+    """Whole-model inference under one scheme."""
+
+    model_name: str
+    scheme: str
+    layer_results: list[SimResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return sum(r.cycles for r in self.layer_results)
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.instructions for r in self.layer_results)
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.cycles
+        return self.instructions / cycles if cycles else 0.0
+
+    def latency_seconds(self, core_clock_ghz: float = 0.7) -> float:
+        """End-to-end inference latency (dependent layer chain)."""
+        return self.cycles / (core_clock_ghz * 1e9)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(r.data_bytes for r in self.layer_results)
+
+    @property
+    def encrypted_bytes(self) -> int:
+        return sum(r.encrypted_bytes for r in self.layer_results)
+
+
+def run_model(
+    source: Module | ModelEncryptionPlan,
+    scheme: str,
+    *,
+    ratio: float = 0.5,
+    input_shape: tuple[int, ...] = (3, 32, 32),
+    counter_cache_kb: int = 96,
+    tile: int = DEFAULT_TILE,
+    include_pools: bool = True,
+    batch: int = 1,
+) -> ModelRunResult:
+    """Simulate a full model inference under one scheme.
+
+    ``source`` may be a model (a plan is built at ``ratio``) or an existing
+    plan.  Layers are simulated independently and summed — inference is a
+    dependent chain, so per-layer times add.  ``batch`` scales feature-map
+    traffic for batched inference.
+    """
+    if isinstance(source, ModelEncryptionPlan):
+        plan = source
+    else:
+        plan = ModelEncryptionPlan.build(source, ratio, input_shape=input_shape)
+    result = ModelRunResult(model_name=plan.model_name, scheme=scheme)
+    for traffic in plan.layer_traffic(include_pools=include_pools, batch=batch):
+        result.layer_results.append(
+            run_layer(
+                traffic, scheme, counter_cache_kb=counter_cache_kb, tile=tile
+            )
+        )
+    return result
+
+
+def compare_schemes(
+    source: Module | ModelEncryptionPlan,
+    schemes: tuple[str, ...] = SCHEMES,
+    **kwargs: object,
+) -> dict[str, ModelRunResult]:
+    """Run a model under several schemes; keys follow the paper's labels."""
+    return {scheme: run_model(source, scheme, **kwargs) for scheme in schemes}

@@ -1,0 +1,73 @@
+"""Streaming-multiprocessor execution model.
+
+A kernel is lowered (by :mod:`repro.sim.workloads`) into one stream of
+:class:`TileStep` items per SM.  A tile step is the unit GPU kernels
+naturally pipeline: fetch the operand tiles for one unit of work, compute
+on them, write results.  The SM model executes steps with double buffering
+— while computing step *i* it prefetches the reads of step *i+1* — so
+compute and memory overlap exactly as far as the memory system allows,
+which is what makes the simulated kernels bandwidth-bound (or not) for the
+same reasons the real ones are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .request import MemRequest
+
+__all__ = ["TileStep", "SmState", "SmStats"]
+
+
+@dataclass(frozen=True)
+class TileStep:
+    """One pipelined unit of SM work.
+
+    ``compute_cycles`` is how long the SM's datapath is busy once operands
+    arrived; ``instructions`` is the issue-slot count it retires (defaults
+    to ``compute_cycles`` at issue width 1).
+    """
+
+    compute_cycles: int
+    reads: tuple[MemRequest, ...] = ()
+    writes: tuple[MemRequest, ...] = ()
+    instructions: int = -1
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles must be non-negative")
+        if self.instructions < 0:
+            object.__setattr__(self, "instructions", self.compute_cycles)
+
+
+@dataclass
+class SmStats:
+    """Per-SM execution accounting."""
+
+    instructions: int = 0
+    busy_cycles: int = 0
+    steps: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+
+
+@dataclass
+class SmState:
+    """Progress of one SM through its step stream (driven by GpuSimulator)."""
+
+    sm_id: int
+    steps: list[TileStep]
+    next_step: int = 0
+    ready_time: float = 0.0  # when the next step's operands are available
+    compute_end: float = 0.0  # when the previous step's compute finishes
+    last_write_done: float = 0.0
+    stats: SmStats = field(default_factory=SmStats)
+
+    @property
+    def done(self) -> bool:
+        return self.next_step >= len(self.steps)
+
+    @property
+    def next_event_time(self) -> float:
+        """Earliest time the next step can start computing."""
+        return max(self.ready_time, self.compute_end)

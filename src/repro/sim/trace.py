@@ -1,0 +1,153 @@
+"""Memory-trace export/import and trace statistics.
+
+Lowered workloads (per-SM :class:`~repro.sim.sm.TileStep` streams) can be
+dumped to a compact text format and replayed later — useful for diffing
+scheme traffic, feeding external cache simulators, and regression-pinning
+the trace generator.  One line per request:
+
+    <sm> <step> R|W <address-hex> <size> E|P [tag]
+
+Compute steps appear as ``<sm> <step> C <cycles> <instructions>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TextIO
+
+from .request import Access, MemRequest
+from .sm import TileStep
+
+__all__ = ["dump_streams", "load_streams", "TraceStats", "trace_stats"]
+
+
+def dump_streams(streams: list[list[TileStep]], handle: TextIO) -> int:
+    """Write streams to ``handle``; returns the number of lines written."""
+    lines = 0
+    for sm_id, stream in enumerate(streams):
+        for step_index, step in enumerate(stream):
+            handle.write(
+                f"{sm_id} {step_index} C {step.compute_cycles} {step.instructions}\n"
+            )
+            lines += 1
+            for request in step.reads:
+                handle.write(_format_request(sm_id, step_index, request))
+                lines += 1
+            for request in step.writes:
+                handle.write(_format_request(sm_id, step_index, request))
+                lines += 1
+    return lines
+
+
+def _format_request(sm_id: int, step_index: int, request: MemRequest) -> str:
+    kind = "R" if request.is_read else "W"
+    criticality = "E" if request.encrypted else "P"
+    tag = f" {request.tag}" if request.tag else ""
+    return (
+        f"{sm_id} {step_index} {kind} {request.address:#x} "
+        f"{request.size} {criticality}{tag}\n"
+    )
+
+
+def load_streams(handle: TextIO) -> list[list[TileStep]]:
+    """Parse a trace written by :func:`dump_streams`."""
+    # (sm, step) -> [compute, instructions, reads, writes]
+    pending: dict[tuple[int, int], list] = {}
+    max_sm = -1
+    for line_number, line in enumerate(handle, start=1):
+        parts = line.split()
+        if not parts:
+            continue
+        if len(parts) < 4:
+            raise ValueError(f"line {line_number}: malformed trace line {line!r}")
+        sm_id, step_index, kind = int(parts[0]), int(parts[1]), parts[2]
+        max_sm = max(max_sm, sm_id)
+        entry = pending.setdefault((sm_id, step_index), [0, 0, [], []])
+        if kind == "C":
+            entry[0] = int(parts[3])
+            entry[1] = int(parts[4]) if len(parts) > 4 else int(parts[3])
+        elif kind in ("R", "W"):
+            if len(parts) < 6:
+                raise ValueError(f"line {line_number}: malformed request {line!r}")
+            request = MemRequest(
+                address=int(parts[3], 16),
+                size=int(parts[4]),
+                access=Access.READ if kind == "R" else Access.WRITE,
+                encrypted=parts[5] == "E",
+                sm_id=sm_id,
+                tag=parts[6] if len(parts) > 6 else "",
+            )
+            entry[2 if kind == "R" else 3].append(request)
+        else:
+            raise ValueError(f"line {line_number}: unknown record kind {kind!r}")
+
+    streams: list[list[TileStep]] = [[] for _ in range(max_sm + 1)]
+    for (sm_id, step_index) in sorted(pending):
+        compute, instructions, reads, writes = pending[(sm_id, step_index)]
+        streams[sm_id].append(
+            TileStep(
+                compute_cycles=compute,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                instructions=instructions,
+            )
+        )
+    return streams
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of one lowered workload."""
+
+    steps: int
+    requests: int
+    read_bytes: int
+    write_bytes: int
+    encrypted_bytes: int
+    compute_cycles: int
+    instructions: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def encrypted_fraction(self) -> float:
+        total = self.total_bytes
+        return self.encrypted_bytes / total if total else 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MAC-slot cycles per byte moved (roofline x-axis)."""
+        total = self.total_bytes
+        return self.compute_cycles / total if total else float("inf")
+
+
+def trace_stats(streams: Iterable[list[TileStep]]) -> TraceStats:
+    """Summarize a set of per-SM streams."""
+    steps = requests = read_bytes = write_bytes = encrypted = 0
+    compute = instructions = 0
+    for stream in streams:
+        for step in stream:
+            steps += 1
+            compute += step.compute_cycles
+            instructions += step.instructions
+            for request in step.reads:
+                requests += 1
+                read_bytes += request.size
+                if request.encrypted:
+                    encrypted += request.size
+            for request in step.writes:
+                requests += 1
+                write_bytes += request.size
+                if request.encrypted:
+                    encrypted += request.size
+    return TraceStats(
+        steps=steps,
+        requests=requests,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        encrypted_bytes=encrypted,
+        compute_cycles=compute,
+        instructions=instructions,
+    )

@@ -1,0 +1,130 @@
+"""I-FGSM tests: perturbation budgets, effectiveness, batch crafting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adversarial import IfgsmConfig, craft_adversarial_batch, ifgsm
+from repro.nn.data import SyntheticCIFAR10
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    set_init_rng,
+)
+from repro.nn.optim import Adam
+from repro.nn.training import fit, predict_labels
+
+
+@pytest.fixture(scope="module")
+def trained_model_and_data():
+    gen = SyntheticCIFAR10(noise=0.15)
+    train = gen.sample(256, seed=1)
+    test = gen.sample(64, seed=2)
+    set_init_rng(0)
+    model = Sequential(
+        Conv2d(3, 8, 3, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 16, 3, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(16 * 8 * 8, 10),
+    )
+    fit(model, train, Adam(list(model.parameters()), lr=3e-3), epochs=10, batch_size=32)
+    return model, test
+
+
+class TestConfig:
+    def test_defaults_are_positive(self):
+        config = IfgsmConfig()
+        assert config.epsilon > 0 and config.alpha > 0 and config.iterations > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"epsilon": 0.0}, {"alpha": -1.0}, {"iterations": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            IfgsmConfig(**kwargs)
+
+
+class TestIfgsm:
+    def test_linf_budget_respected(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        config = IfgsmConfig(epsilon=0.05, alpha=0.02, iterations=5, targeted=False)
+        adv = ifgsm(model, test.images[:16], test.labels[:16], config)
+        delta = np.abs(adv - test.images[:16])
+        assert delta.max() <= config.epsilon + 1e-6
+
+    def test_pixel_range_respected(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        adv = ifgsm(model, test.images[:16], test.labels[:16],
+                    IfgsmConfig(targeted=False))
+        assert adv.min() >= 0.0 and adv.max() <= 1.0
+
+    def test_untargeted_attack_degrades_accuracy(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        clean_accuracy = (predict_labels(model, test.images) == test.labels).mean()
+        adv = ifgsm(
+            model, test.images, test.labels,
+            IfgsmConfig(epsilon=0.08, alpha=0.01, iterations=15, targeted=False),
+        )
+        adv_accuracy = (predict_labels(model, adv) == test.labels).mean()
+        assert adv_accuracy < clean_accuracy
+
+    def test_targeted_attack_reaches_targets(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        rng = np.random.default_rng(0)
+        targets = (test.labels + rng.integers(1, 10, len(test))) % 10
+        adv = ifgsm(
+            model, test.images, targets,
+            IfgsmConfig(epsilon=0.15, alpha=0.015, iterations=30, targeted=True),
+        )
+        hit = (predict_labels(model, adv) == targets).mean()
+        assert hit > 0.5  # strong white-box targeted attacks mostly succeed
+
+    def test_batching_consistency(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        config = IfgsmConfig(iterations=3, targeted=False)
+        a = ifgsm(model, test.images[:20], test.labels[:20], config, batch_size=4)
+        b = ifgsm(model, test.images[:20], test.labels[:20], config, batch_size=20)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestCraftBatch:
+    def test_batch_bookkeeping(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        batch = craft_adversarial_batch(
+            model, test.images[:32], test.labels[:32],
+            IfgsmConfig(epsilon=0.1, alpha=0.02, iterations=10),
+        )
+        assert batch.examples.shape == test.images[:32].shape
+        assert batch.target_labels is not None
+        assert (batch.target_labels != batch.true_labels).all()
+        assert 0.0 <= batch.substitute_success_rate <= 1.0
+
+    def test_untargeted_batch(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        batch = craft_adversarial_batch(
+            model, test.images[:16], test.labels[:16],
+            IfgsmConfig(epsilon=0.1, alpha=0.02, iterations=10, targeted=False),
+        )
+        assert batch.target_labels is None
+
+    def test_deterministic_given_rng(self, trained_model_and_data):
+        model, test = trained_model_and_data
+        config = IfgsmConfig(iterations=2)
+        a = craft_adversarial_batch(
+            model, test.images[:8], test.labels[:8], config,
+            rng=np.random.default_rng(3),
+        )
+        b = craft_adversarial_batch(
+            model, test.images[:8], test.labels[:8], config,
+            rng=np.random.default_rng(3),
+        )
+        np.testing.assert_array_equal(a.examples, b.examples)
+        np.testing.assert_array_equal(a.target_labels, b.target_labels)

@@ -1,0 +1,104 @@
+"""Jacobian-augmentation tests: growth, query accounting, label sourcing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.augmentation import jacobian_augment, jacobian_step
+from repro.nn.data import Dataset, SyntheticCIFAR10
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU, Sequential, set_init_rng
+
+
+@pytest.fixture()
+def substitute():
+    set_init_rng(0)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1), ReLU(), Flatten(), Linear(4 * 32 * 32, 10)
+    )
+
+
+@pytest.fixture()
+def seed_data():
+    return SyntheticCIFAR10().sample(24, seed=5)
+
+
+def constant_oracle(images):
+    return np.zeros(len(images), dtype=np.int64)
+
+
+class TestJacobianStep:
+    def test_output_shape_and_range(self, substitute, seed_data):
+        out = jacobian_step(substitute, seed_data.images, seed_data.labels)
+        assert out.shape == seed_data.images.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_perturbation_magnitude_is_lambda(self, substitute, seed_data):
+        lambda_ = 0.07
+        out = jacobian_step(substitute, seed_data.images, seed_data.labels, lambda_=lambda_)
+        delta = np.abs(out - seed_data.images)
+        interior = (seed_data.images > lambda_) & (seed_data.images < 1 - lambda_)
+        # Where clipping cannot interfere, the step is exactly +-lambda
+        # (sign of a generically non-zero gradient).
+        moved = delta[interior]
+        assert (np.isclose(moved, lambda_, atol=1e-6) | np.isclose(moved, 0.0)).all()
+        assert np.isclose(moved, lambda_, atol=1e-6).mean() > 0.5
+
+    def test_direction_follows_label_gradient(self, substitute, seed_data):
+        a = jacobian_step(substitute, seed_data.images[:4], np.zeros(4, dtype=int))
+        b = jacobian_step(substitute, seed_data.images[:4], np.ones(4, dtype=int))
+        assert not np.array_equal(a, b)
+
+
+class TestJacobianAugment:
+    def test_doubles_per_round(self, substitute, seed_data):
+        result = jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=2, max_samples=None
+        )
+        assert len(result.dataset) == len(seed_data) * 4
+
+    def test_query_accounting(self, substitute, seed_data):
+        result = jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=1, max_samples=None
+        )
+        assert result.queries == 2 * len(seed_data)
+
+    def test_labels_come_from_oracle(self, substitute, seed_data):
+        result = jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=1, max_samples=None
+        )
+        assert (result.dataset.labels == 0).all()
+
+    def test_max_samples_cap(self, substitute, seed_data):
+        result = jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=5, max_samples=60
+        )
+        assert len(result.dataset) <= 60
+
+    def test_zero_rounds_keeps_seed(self, substitute, seed_data):
+        result = jacobian_augment(substitute, seed_data, constant_oracle, rounds=0)
+        assert len(result.dataset) == len(seed_data)
+        assert result.rounds == 0
+
+    def test_rounds_validated(self, substitute, seed_data):
+        with pytest.raises(ValueError):
+            jacobian_augment(substitute, seed_data, constant_oracle, rounds=-1)
+
+    def test_train_between_rounds_called(self, substitute, seed_data):
+        calls = []
+
+        def recorder(model, dataset):
+            calls.append(len(dataset))
+
+        jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=2,
+            train_between_rounds=recorder, max_samples=None,
+        )
+        assert len(calls) == 2
+        assert calls[0] < calls[1]
+
+    def test_original_seed_preserved_in_output(self, substitute, seed_data):
+        result = jacobian_augment(
+            substitute, seed_data, constant_oracle, rounds=1, max_samples=None
+        )
+        np.testing.assert_array_equal(
+            result.dataset.images[: len(seed_data)], seed_data.images
+        )

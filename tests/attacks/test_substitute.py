@@ -1,0 +1,242 @@
+"""Substitute-model tests: freezing semantics and adversary knowledge flow."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.substitute import (
+    SubstituteConfig,
+    black_box_substitute,
+    make_query_fn,
+    seal_substitute,
+    train_substitute,
+    white_box_substitute,
+)
+from repro.core.seal import SealScheme
+from repro.nn.data import SyntheticCIFAR10
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+
+
+def builder():
+    set_init_rng(42)
+    return vgg16(width_scale=0.125)
+
+
+@pytest.fixture(scope="module")
+def victim():
+    set_init_rng(0)
+    model = vgg16(width_scale=0.125)
+    # A lightly trained victim is enough for interface-level tests.
+    from repro.nn.optim import Adam
+    from repro.nn.training import fit
+
+    data = SyntheticCIFAR10().sample(192, seed=1)
+    fit(model, data, Adam(list(model.parameters()), lr=2e-3), epochs=3, batch_size=32)
+    return model
+
+
+@pytest.fixture(scope="module")
+def seed_data():
+    return SyntheticCIFAR10().sample(32, seed=9)
+
+
+FAST = SubstituteConfig(augmentation_rounds=1, epochs=1, max_samples=96, batch_size=16)
+
+
+class TestQueryOracle:
+    def test_returns_hard_labels(self, victim, seed_data):
+        query = make_query_fn(victim)
+        labels = query(seed_data.images)
+        assert labels.shape == (len(seed_data),)
+        assert labels.dtype.kind == "i"
+
+
+class TestWhiteBox:
+    def test_is_the_victim(self, victim):
+        result = white_box_substitute(victim)
+        assert result.model is victim
+        assert result.kind == "white-box"
+        assert result.queries == 0
+
+
+class TestBlackBox:
+    def test_produces_trained_model(self, victim, seed_data):
+        result = black_box_substitute(builder, victim, seed_data, FAST)
+        assert result.kind == "black-box"
+        assert result.queries > len(seed_data)
+        assert result.model is not victim
+
+    def test_substitute_differs_from_victim_weights(self, victim, seed_data):
+        result = black_box_substitute(builder, victim, seed_data, FAST)
+        victim_params = dict(victim.named_parameters())
+        for name, param in result.model.named_parameters():
+            if "weight" in name and param.data.size > 100:
+                assert not np.allclose(param.data, victim_params[name].data)
+                break
+
+
+class TestSealSubstitute:
+    @pytest.fixture(scope="class")
+    def snooped(self, victim):
+        return SealScheme(victim, ratio=0.5).snooped_view()
+
+    def test_plaintext_weights_copied_and_frozen(self, victim, seed_data, snooped):
+        result = seal_substitute(builder, victim, snooped, seed_data, FAST)
+        victim_params = dict(victim.named_parameters())
+        substitute_params = dict(result.model.named_parameters())
+        for layer_name, mask in snooped.masks.items():
+            known = ~mask
+            if not known.any():
+                continue
+            sub = substitute_params[f"{layer_name}.weight"].data
+            vic = victim_params[f"{layer_name}.weight"].data
+            np.testing.assert_allclose(sub[known], vic[known])
+
+    def test_encrypted_weights_are_retrained_not_copied(self, victim, seed_data, snooped):
+        result = seal_substitute(builder, victim, snooped, seed_data, FAST)
+        victim_params = dict(victim.named_parameters())
+        substitute_params = dict(result.model.named_parameters())
+        diffs = []
+        for layer_name, mask in snooped.masks.items():
+            if mask.any():
+                sub = substitute_params[f"{layer_name}.weight"].data
+                vic = victim_params[f"{layer_name}.weight"].data
+                diffs.append(np.abs(sub[mask] - vic[mask]).mean())
+        assert max(diffs) > 1e-3  # unknown weights did not leak
+
+    def test_ratio_recorded(self, victim, seed_data, snooped):
+        result = seal_substitute(builder, victim, snooped, seed_data, FAST)
+        assert result.ratio == 0.5
+
+    def test_architecture_mismatch_detected(self, victim, seed_data, snooped):
+        def wrong_builder():
+            set_init_rng(0)
+            return vgg16(width_scale=0.25)
+
+        with pytest.raises(ValueError):
+            seal_substitute(wrong_builder, victim, snooped, seed_data, FAST)
+
+
+class TestTrainSubstitute:
+    def test_freeze_mask_respected(self, victim, seed_data):
+        model = builder()
+        named = dict(model.named_parameters())
+        target_name = next(n for n in named if n.endswith("weight"))
+        frozen_values = named[target_name].data.copy()
+        mask = np.ones_like(frozen_values, dtype=bool)
+        train_substitute(
+            model,
+            seed_data,
+            SubstituteConfig(epochs=2, batch_size=16),
+            freeze_masks={target_name: mask},
+        )
+        np.testing.assert_allclose(named[target_name].data, frozen_values)
+
+    def test_unknown_freeze_name_rejected(self, seed_data):
+        model = builder()
+        with pytest.raises(KeyError):
+            train_substitute(
+                model,
+                seed_data,
+                SubstituteConfig(epochs=1),
+                freeze_masks={"no.such.weight": np.zeros(1, dtype=bool)},
+            )
+
+    def test_returns_train_accuracy(self, seed_data):
+        model = builder()
+        accuracy = train_substitute(model, seed_data, SubstituteConfig(epochs=1, batch_size=16))
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestAuxKnowledgeTransfer:
+    """The bus leaks unencrypted biases and batch-norm data; the SEAL
+    substitute must inherit and freeze exactly the known entries."""
+
+    @pytest.fixture(scope="class")
+    def snooped(self, victim):
+        return SealScheme(victim, ratio=0.5).snooped_view()
+
+    def test_known_bn_gammas_copied(self, victim, seed_data, snooped):
+        result = seal_substitute(builder, victim, snooped, seed_data, FAST)
+        substitute_params = dict(result.model.named_parameters())
+        copied = 0
+        for name, values in snooped.aux_params.items():
+            if not name.endswith(".gamma"):
+                continue
+            mask = snooped.aux_masks[name]
+            known = ~mask
+            if not known.any():
+                continue
+            sub = substitute_params[name].data
+            victim_values = values[known]
+            np.testing.assert_allclose(sub[known], victim_values)
+            copied += 1
+        assert copied > 0
+
+    def test_known_running_stats_seeded(self, victim, snooped):
+        # Check the seeding itself (before fine-tuning legitimately drifts
+        # the statistics toward the adversary's query distribution).
+        from repro.attacks.substitute import initialize_seal_substitute
+        from repro.nn.layers import BatchNorm2d
+
+        substitute, _ = initialize_seal_substitute(builder, snooped)
+        victim_modules = dict(victim.named_modules())
+        substitute_modules = dict(substitute.named_modules())
+        checked = 0
+        for name in snooped.aux_buffers:
+            module_name, _, attr = name.rpartition(".")
+            vic = victim_modules.get(module_name)
+            sub = substitute_modules.get(module_name)
+            if not isinstance(vic, BatchNorm2d) or not isinstance(sub, BatchNorm2d):
+                continue
+            known = ~snooped.aux_masks[name]
+            if known.any():
+                np.testing.assert_allclose(
+                    getattr(sub, attr)[known], getattr(vic, attr)[known]
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_freeze_masks_cover_known_aux(self, snooped):
+        from repro.attacks.substitute import initialize_seal_substitute
+
+        _, freeze_masks = initialize_seal_substitute(builder, snooped)
+        gamma_keys = [k for k in freeze_masks if k.endswith(".gamma")]
+        assert gamma_keys
+        for key in gamma_keys:
+            np.testing.assert_array_equal(
+                freeze_masks[key], ~snooped.aux_masks[key]
+            )
+
+    def test_hidden_aux_entries_not_leaked(self, victim, seed_data, snooped):
+        for name, values in snooped.aux_params.items():
+            mask = snooped.aux_masks[name]
+            assert np.isnan(values[mask]).all()
+
+
+class TestInitOnlyAdversary:
+    """freeze_known=False: the stronger init-only fine-tuning variant."""
+
+    @pytest.fixture(scope="class")
+    def snooped(self, victim):
+        return SealScheme(victim, ratio=0.5).snooped_view()
+
+    def test_known_weights_may_move(self, victim, seed_data, snooped):
+        config = SubstituteConfig(
+            augmentation_rounds=0, epochs=2, max_samples=64,
+            batch_size=16, freeze_known=False,
+        )
+        result = seal_substitute(builder, victim, snooped, seed_data, config)
+        victim_params = dict(victim.named_parameters())
+        moved = 0.0
+        for layer_name, mask in snooped.masks.items():
+            known = ~mask
+            if not known.any():
+                continue
+            sub = dict(result.model.named_parameters())[f"{layer_name}.weight"].data
+            vic = victim_params[f"{layer_name}.weight"].data
+            moved = max(moved, float(np.abs(sub[known] - vic[known]).max()))
+        assert moved > 0.0  # fine-tuning touched the known weights
+
+    def test_default_config_freezes(self):
+        assert SubstituteConfig().freeze_known is True

@@ -1,0 +1,67 @@
+"""Traffic-analysis tests: aggregation consistency and reporting."""
+
+import pytest
+
+from repro.core.analysis import (
+    per_layer_encrypted_fraction,
+    summarize_traffic,
+    traffic_table,
+)
+from repro.core.plan import ModelEncryptionPlan
+from repro.nn.layers import set_init_rng
+from repro.nn.models import resnet18, vgg16
+
+
+@pytest.fixture(scope="module")
+def plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.5)
+
+
+class TestSummary:
+    def test_totals_add_up(self, plan):
+        summary = summarize_traffic(plan)
+        assert summary.total_bytes == summary.weight_bytes + summary.fmap_bytes
+        assert summary.encrypted_bytes == (
+            summary.encrypted_weight_bytes + summary.encrypted_fmap_bytes
+        )
+
+    def test_fractions_in_bounds(self, plan):
+        summary = summarize_traffic(plan)
+        assert 0.0 <= summary.encrypted_fraction <= 1.0
+        assert 0.0 <= summary.weight_encrypted_fraction <= 1.0
+        assert 0.0 <= summary.fmap_encrypted_fraction <= 1.0
+
+    def test_weight_fraction_matches_plan(self, plan):
+        summary = summarize_traffic(plan)
+        assert summary.weight_encrypted_fraction == pytest.approx(
+            plan.realized_ratio, abs=1e-6
+        )
+
+    def test_encrypted_fraction_grows_with_ratio(self):
+        set_init_rng(0)
+        model = resnet18(width_scale=0.125)
+        fractions = [
+            summarize_traffic(ModelEncryptionPlan.build(model, r)).encrypted_fraction
+            for r in (0.2, 0.5, 0.8)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_str_mentions_model(self, plan):
+        assert plan.model_name in str(summarize_traffic(plan))
+
+
+class TestPerLayer:
+    def test_one_entry_per_layer(self, plan):
+        fractions = per_layer_encrypted_fraction(plan)
+        assert len(fractions) == len(plan.layers) + len(plan.pools)
+
+    def test_boundary_layer_fraction_is_one(self, plan):
+        fractions = per_layer_encrypted_fraction(plan)
+        first = plan.layers[0].name
+        assert fractions[first] == pytest.approx(1.0)
+
+    def test_table_renders_all_layers(self, plan):
+        table = traffic_table(plan.layer_traffic())
+        for layer in plan.layers:
+            assert layer.name in table

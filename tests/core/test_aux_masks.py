@@ -1,0 +1,95 @@
+"""Auxiliary per-channel data (bias/batch-norm) mask tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ModelEncryptionPlan
+from repro.core.seal import SealScheme
+from repro.nn.layers import set_init_rng
+from repro.nn.models import resnet18, vgg16
+
+
+@pytest.fixture(scope="module")
+def plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.5)
+
+
+class TestAuxChannelMasks:
+    def test_one_mask_per_batchnorm(self, plan):
+        masks = plan.aux_channel_masks()
+        # VGG-16 has one BN per CONV layer.
+        assert len(masks) == 13
+
+    def test_mask_length_matches_channels(self, plan):
+        masks = plan.aux_channel_masks()
+        by_name = {a.module_name: a for a in plan.aux}
+        for name, mask in masks.items():
+            assert mask.shape == (by_name[name].channels,)
+
+    def test_bn_mask_equals_next_layer_row_mask(self, plan):
+        """A BN following conv_i normalises conv_i's output channels, which
+        are the next weight layer's input channels: masks must coincide."""
+        masks = plan.aux_channel_masks()
+        for aux in plan.aux:
+            consumers = [p for p in plan.layers if p.in_group == aux.group]
+            for consumer in consumers:
+                if consumer.n_rows == aux.channels:
+                    np.testing.assert_array_equal(
+                        masks[aux.module_name], consumer.row_mask
+                    )
+
+    def test_resnet_has_aux_plans(self):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(resnet18(width_scale=0.125), 0.5)
+        assert len(plan.aux) >= 17
+
+
+class TestBiasMasks:
+    def test_every_layer_has_a_bias_mask(self, plan):
+        masks = plan.bias_masks()
+        assert set(masks) == {p.name for p in plan.layers}
+
+    def test_boundary_layers_hide_bias(self, plan):
+        masks = plan.bias_masks()
+        for layer in plan.layers:
+            if layer.fully_encrypted:
+                assert masks[layer.name].all()
+
+    def test_bias_mask_length(self, plan):
+        masks = plan.bias_masks()
+        for layer in plan.layers:
+            assert masks[layer.name].shape == (layer.weight_shape[0],)
+
+
+class TestSnoopedAux:
+    @pytest.fixture(scope="class")
+    def view(self):
+        set_init_rng(0)
+        return SealScheme(vgg16(width_scale=0.125), 0.5).snooped_view()
+
+    def test_bn_params_exposed(self, view):
+        gamma_keys = [k for k in view.aux_params if k.endswith(".gamma")]
+        assert len(gamma_keys) == 13
+
+    def test_running_stats_exposed(self, view):
+        mean_keys = [k for k in view.aux_buffers if k.endswith(".running_mean")]
+        assert len(mean_keys) == 13
+
+    def test_nan_matches_mask(self, view):
+        for name, values in view.aux_params.items():
+            mask = view.aux_masks[name]
+            assert np.isnan(values[mask]).all()
+            assert not np.isnan(values[~mask]).any()
+
+    def test_partial_knowledge_at_mid_ratio(self, view):
+        # At 50% some BN channels must be known and some hidden.
+        masks = [m for k, m in view.aux_masks.items() if k.endswith(".gamma")]
+        assert any(m.any() and (~m).any() for m in masks)
+
+    def test_ratio_one_hides_all_aux(self):
+        set_init_rng(0)
+        view = SealScheme(vgg16(width_scale=0.125), 1.0).snooped_view()
+        for name, values in view.aux_params.items():
+            if name.endswith((".gamma", ".beta")):
+                assert np.isnan(values).all()

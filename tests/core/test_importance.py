@@ -1,0 +1,161 @@
+"""Criticality-measurement tests: ℓ1 ranking and selection invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.importance import (
+    fc_row_l1,
+    importance_profile,
+    kernel_row_l1,
+    rank_rows,
+    select_encrypted_rows,
+)
+
+
+class TestKernelRowL1:
+    def test_known_values(self):
+        w = np.zeros((2, 3, 1, 1))
+        w[0, 0] = 2.0
+        w[1, 0] = -3.0
+        w[0, 2] = 1.0
+        np.testing.assert_allclose(kernel_row_l1(w), [5.0, 0.0, 1.0])
+
+    def test_row_axis_is_input_channels(self):
+        w = np.random.default_rng(0).normal(size=(8, 5, 3, 3))
+        assert kernel_row_l1(w).shape == (5,)
+
+    def test_absolute_values_used(self):
+        w = np.full((1, 2, 1, 1), -1.0)
+        np.testing.assert_allclose(kernel_row_l1(w), [1.0, 1.0])
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            kernel_row_l1(np.zeros((3, 3)))
+
+    @given(
+        arrays(
+            np.float64, (4, 6, 3, 3),
+            # Exactly representable values: scaling by 4 cannot reorder
+            # near-ties through rounding, which is not a ranking property.
+            elements=st.integers(-5, 5).map(float),
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_preserves_ranking(self, w):
+        base = rank_rows(kernel_row_l1(w))
+        scaled = rank_rows(kernel_row_l1(4.0 * w))
+        np.testing.assert_array_equal(base, scaled)
+
+    @given(arrays(np.float64, (4, 6, 3, 3), elements=st.floats(-5, 5)))
+    @settings(max_examples=20, deadline=None)
+    def test_output_channel_permutation_invariance(self, w):
+        # Row importance sums over output channels, so permuting them
+        # cannot change any row's score.
+        perm = np.random.default_rng(0).permutation(4)
+        np.testing.assert_allclose(kernel_row_l1(w), kernel_row_l1(w[perm]))
+
+
+class TestFcRowL1:
+    def test_per_feature(self):
+        w = np.array([[1.0, -2.0, 0.0], [3.0, 0.0, 1.0]])
+        np.testing.assert_allclose(fc_row_l1(w), [4.0, 2.0, 1.0])
+
+    def test_channel_grouping(self):
+        w = np.ones((2, 6))
+        np.testing.assert_allclose(fc_row_l1(w, channel_group=3), [6.0, 6.0])
+
+    def test_grouping_must_divide(self):
+        with pytest.raises(ValueError):
+            fc_row_l1(np.ones((2, 5)), channel_group=3)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            fc_row_l1(np.zeros((2, 2, 2)))
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            fc_row_l1(np.ones((2, 4)), channel_group=0)
+
+
+class TestRanking:
+    def test_descending_order(self):
+        order = rank_rows(np.array([1.0, 5.0, 3.0]))
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_tie_break_is_lower_index_first(self):
+        order = rank_rows(np.array([2.0, 2.0, 2.0]))
+        np.testing.assert_array_equal(order, [0, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_rows(np.zeros((2, 2)))
+
+
+class TestSelection:
+    def test_half_selects_top_half(self):
+        mask = select_encrypted_rows(np.array([1.0, 4.0, 2.0, 3.0]), 0.5)
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_zero_ratio_selects_nothing(self):
+        assert not select_encrypted_rows(np.ones(8), 0.0).any()
+
+    def test_full_ratio_selects_everything(self):
+        assert select_encrypted_rows(np.ones(8), 1.0).all()
+
+    def test_ceiling_semantics(self):
+        # ratio 0.3 of 4 rows -> ceil(1.2) = 2 rows.
+        mask = select_encrypted_rows(np.array([1.0, 2.0, 3.0, 4.0]), 0.3)
+        assert mask.sum() == 2
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_ratio_validated(self, bad):
+        with pytest.raises(ValueError):
+            select_encrypted_rows(np.ones(4), bad)
+
+    @given(
+        arrays(np.float64, st.integers(1, 40).map(lambda n: (n,)),
+               elements=st.floats(0, 100)),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selected_rows_dominate_unselected(self, importance, ratio):
+        mask = select_encrypted_rows(importance, ratio)
+        if mask.any() and (~mask).any():
+            assert importance[mask].min() >= importance[~mask].max()
+
+    @given(st.integers(1, 64), st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_count_is_ceil_ratio_n(self, n, ratio):
+        mask = select_encrypted_rows(np.arange(n, dtype=float), ratio)
+        assert mask.sum() == min(n, int(np.ceil(ratio * n)))
+
+
+class TestProfile:
+    def test_uniform_distribution_has_low_gini(self):
+        profile = importance_profile(np.ones(16))
+        assert profile["gini"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_distribution_has_high_gini(self):
+        values = np.zeros(16)
+        values[0] = 100.0
+        profile = importance_profile(values)
+        assert profile["gini"] > 0.9
+
+    def test_half_mass_rows(self):
+        values = np.array([4.0, 2.0, 1.0, 1.0])
+        profile = importance_profile(values)
+        assert profile["rows_for_half_mass"] == 1
+
+    def test_summary_fields(self):
+        profile = importance_profile(np.array([1.0, 3.0]))
+        assert profile["mean"] == 2.0
+        assert profile["max"] == 3.0
+        assert profile["min"] == 1.0
+
+    def test_zero_distribution(self):
+        profile = importance_profile(np.zeros(4))
+        assert profile["gini"] == 0.0
+        assert profile["rows_for_half_mass"] == 0

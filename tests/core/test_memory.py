@@ -1,0 +1,137 @@
+"""Secure-heap tests: emalloc/malloc semantics, lookups, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import HeapError, SecureHeap
+
+
+class TestAllocation:
+    def test_emalloc_is_encrypted(self):
+        heap = SecureHeap()
+        alloc = heap.emalloc("weights", 1024)
+        assert alloc.encrypted
+        assert alloc.size >= 1024
+
+    def test_malloc_is_plaintext(self):
+        heap = SecureHeap()
+        assert not heap.malloc("scratch", 64).encrypted
+
+    def test_alignment(self):
+        heap = SecureHeap(alignment=128)
+        a = heap.emalloc("a", 1)
+        b = heap.emalloc("b", 1)
+        assert a.address % 128 == 0
+        assert b.address % 128 == 0
+        assert b.address == a.address + 128
+
+    def test_allocations_never_overlap(self):
+        heap = SecureHeap()
+        a = heap.emalloc("a", 300)
+        b = heap.malloc("b", 500)
+        assert a.end <= b.address
+
+    def test_duplicate_name_rejected(self):
+        heap = SecureHeap()
+        heap.emalloc("x", 10)
+        with pytest.raises(HeapError, match="already in use"):
+            heap.malloc("x", 10)
+
+    def test_nonpositive_size_rejected(self):
+        heap = SecureHeap()
+        with pytest.raises(HeapError):
+            heap.emalloc("x", 0)
+
+    def test_capacity_enforced(self):
+        heap = SecureHeap(capacity=256)
+        heap.emalloc("a", 128)
+        with pytest.raises(HeapError, match="out of memory"):
+            heap.emalloc("b", 256)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(HeapError):
+            SecureHeap(alignment=100)
+
+
+class TestLookup:
+    def test_lookup_interior_address(self):
+        heap = SecureHeap()
+        alloc = heap.emalloc("a", 256)
+        assert heap.lookup(alloc.address + 100) is alloc
+
+    def test_lookup_boundaries(self):
+        heap = SecureHeap()
+        a = heap.emalloc("a", 128)
+        b = heap.malloc("b", 128)
+        assert heap.lookup(a.address) is a
+        assert heap.lookup(b.address) is b
+        assert heap.lookup(a.end - 1) is a
+
+    def test_unallocated_address_raises(self):
+        heap = SecureHeap(base=0x1000)
+        heap.emalloc("a", 128)
+        with pytest.raises(HeapError):
+            heap.lookup(0x10)
+
+    def test_is_encrypted_routing(self):
+        # The memory controller's per-line routing decision.
+        heap = SecureHeap()
+        enc = heap.emalloc("critical", 128)
+        plain = heap.malloc("bypass", 128)
+        assert heap.is_encrypted(enc.address)
+        assert not heap.is_encrypted(plain.address)
+
+    def test_by_name(self):
+        heap = SecureHeap()
+        heap.emalloc("model.conv1", 64)
+        assert heap.by_name("model.conv1").name == "model.conv1"
+        with pytest.raises(HeapError):
+            heap.by_name("nope")
+
+
+class TestAccounting:
+    def test_used_and_split_byte_counts(self):
+        heap = SecureHeap(alignment=128)
+        heap.emalloc("a", 128)
+        heap.malloc("b", 256)
+        heap.emalloc("c", 128)
+        assert heap.used_bytes == 512
+        assert heap.encrypted_bytes == 256
+        assert heap.plaintext_bytes == 256
+
+    def test_iteration_in_allocation_order(self):
+        heap = SecureHeap()
+        names = ["w", "x", "y"]
+        for name in names:
+            heap.malloc(name, 10)
+        assert [a.name for a in heap] == names
+        assert len(heap) == 3
+
+    def test_repr_mentions_kind(self):
+        heap = SecureHeap()
+        assert "emalloc" in repr(heap.emalloc("a", 1))
+        assert "malloc" in repr(heap.malloc("b", 1))
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(1, 10_000), st.booleans()),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlaps_and_correct_routing(self, allocations):
+        heap = SecureHeap()
+        expected = []
+        for index, (size, encrypted) in enumerate(allocations):
+            if encrypted:
+                alloc = heap.emalloc(f"r{index}", size)
+            else:
+                alloc = heap.malloc(f"r{index}", size)
+            expected.append((alloc, encrypted))
+        # Pairwise disjoint.
+        sorted_allocs = sorted((a for a, _ in expected), key=lambda a: a.address)
+        for left, right in zip(sorted_allocs, sorted_allocs[1:]):
+            assert left.end <= right.address
+        # Routing consistent everywhere inside each region.
+        for alloc, encrypted in expected:
+            assert heap.is_encrypted(alloc.address) == encrypted
+            assert heap.is_encrypted(alloc.end - 1) == encrypted

@@ -1,0 +1,73 @@
+"""SE on FC-only networks (the paper's §III-A extension to RNN-style
+models built from fully-connected layers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ModelEncryptionPlan
+from repro.core.seal import SealScheme
+from repro.nn.layers import set_init_rng
+from repro.nn.models import mlp
+from repro.sim.runner import SCHEMES, run_model
+
+
+@pytest.fixture(scope="module")
+def plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(mlp(), 0.5)
+
+
+class TestMlpPlanning:
+    def test_all_weight_layers_are_fc(self, plan):
+        assert all(p.kind == "fc" for p in plan.layers)
+        assert len(plan.pools) == 0
+
+    def test_last_fc_is_boundary(self, plan):
+        assert plan.layers[-1].fully_encrypted
+        assert not plan.layers[0].fully_encrypted  # no CONV boundary rule
+
+    def test_first_fc_rows_are_image_channels(self, plan):
+        """Flatten groups the 3x32x32 image into 3 channel rows."""
+        first = plan.layers[0]
+        assert first.n_rows == 3
+        assert first.channel_group == 32 * 32
+
+    def test_invariants_hold(self, plan):
+        plan.validate()
+        for layer in plan.layers:
+            np.testing.assert_array_equal(
+                layer.row_mask, plan.channel_mask(layer.in_group)
+            )
+
+    def test_hidden_fc_encrypts_exactly_half(self, plan):
+        hidden = plan.layers[1]
+        assert hidden.row_mask.sum() == hidden.n_rows // 2
+
+    def test_weight_mask_expands_channel_groups(self, plan):
+        first = plan.layers[0]
+        mask = first.weight_element_mask()
+        assert mask.shape == first.weight_shape
+        # Each of the 3 image channels expands to 1024 contiguous features.
+        per_feature = mask[0]
+        blocks = per_feature.reshape(3, 1024)
+        for block in blocks:
+            assert block.all() or not block.any()
+
+
+class TestMlpSimulation:
+    def test_runs_under_all_schemes(self, plan):
+        ipcs = {scheme: run_model(plan, scheme).ipc for scheme in SCHEMES}
+        assert ipcs["Direct"] < ipcs["Baseline"]
+        assert ipcs["SEAL-D"] >= ipcs["Direct"]
+
+
+class TestMlpSnooping:
+    def test_snooped_view_masks_fc_weights(self):
+        set_init_rng(0)
+        scheme = SealScheme(mlp(), 0.5, input_shape=(3, 32, 32))
+        view = scheme.snooped_view()
+        assert 0.0 < view.known_fraction() < 1.0
+        hidden = scheme.plan.layers[1]
+        values = view.weights[hidden.name]
+        assert np.isnan(values).any()
+        assert not np.isnan(values).all()

@@ -1,0 +1,306 @@
+"""Smart-encryption plan tests: the paper's security invariants, boundary
+layers, ratio semantics, traffic accounting — on VGG and ResNet graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import (
+    DEFAULT_ENCRYPTION_RATIO,
+    ModelEncryptionPlan,
+    PlanError,
+)
+from repro.nn.layers import Conv2d, Linear, ReLU, Sequential, set_init_rng
+from repro.nn.models import resnet18, vgg16
+
+
+@pytest.fixture(scope="module")
+def vgg_plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.5)
+
+
+@pytest.fixture(scope="module")
+def resnet_plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(resnet18(width_scale=0.125), 0.5)
+
+
+class TestPlanConstruction:
+    def test_default_ratio_is_50_percent(self):
+        assert DEFAULT_ENCRYPTION_RATIO == 0.5
+
+    def test_vgg_weight_layer_count(self, vgg_plan):
+        assert len(vgg_plan.layers) == 16  # 13 CONV + 3 FC
+        assert len(vgg_plan.pools) == 5
+
+    def test_resnet_includes_shortcut_convs(self, resnet_plan):
+        convs = [p for p in resnet_plan.layers if p.kind == "conv"]
+        assert len(convs) == 20  # 17 main + 3 projection shortcuts
+
+    def test_layers_in_execution_order(self, vgg_plan):
+        indices = [p.index for p in vgg_plan.layers]
+        assert indices == sorted(indices)
+
+    def test_ratio_validated(self):
+        with pytest.raises(PlanError):
+            ModelEncryptionPlan.build(vgg16(width_scale=0.125), 1.5)
+
+    def test_model_without_weight_layers_rejected(self):
+        with pytest.raises(PlanError, match="no CONV or FC"):
+            ModelEncryptionPlan.build(Sequential(ReLU()), 0.5)
+
+    def test_unknown_leaf_module_rejected(self):
+        from repro.nn.layers import Module
+        from repro.nn.tensor import Tensor
+
+        class Strange(Module):
+            def forward(self, x: Tensor) -> Tensor:
+                return x * 2
+
+        with pytest.raises(PlanError, match="unknown leaf"):
+            ModelEncryptionPlan.build(
+                Sequential(Conv2d(3, 4, 3), Strange(), Conv2d(4, 4, 3)), 0.5
+            )
+
+
+class TestBoundaryLayers:
+    def test_first_two_convs_fully_encrypted(self, vgg_plan):
+        convs = [p for p in vgg_plan.layers if p.kind == "conv"]
+        assert convs[0].fully_encrypted and convs[0].row_mask.all()
+        assert convs[1].fully_encrypted and convs[1].row_mask.all()
+
+    def test_last_conv_fully_encrypted(self, vgg_plan):
+        convs = [p for p in vgg_plan.layers if p.kind == "conv"]
+        assert convs[-1].fully_encrypted
+
+    def test_last_fc_fully_encrypted(self, vgg_plan):
+        fcs = [p for p in vgg_plan.layers if p.kind == "fc"]
+        assert fcs[-1].fully_encrypted
+        assert not fcs[0].fully_encrypted  # middle FC layers use SE
+
+    def test_boundary_can_be_disabled(self):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(
+            vgg16(width_scale=0.125),
+            0.5,
+            boundary_first_convs=0,
+            boundary_last_conv=False,
+            boundary_last_fc=False,
+        )
+        assert not any(p.fully_encrypted for p in plan.layers)
+
+    def test_resnet_boundary_selection(self, resnet_plan):
+        convs = [p for p in resnet_plan.layers if p.kind == "conv"]
+        assert convs[0].fully_encrypted  # stem
+        assert convs[1].fully_encrypted  # first block conv1
+        assert convs[-1].fully_encrypted  # last executed conv
+
+
+class TestSecurityInvariants:
+    """The invariants Equations 1–3 of the paper rest on."""
+
+    @pytest.mark.parametrize("fixture", ["vgg_plan", "resnet_plan"])
+    def test_row_mask_equals_input_channel_mask(self, fixture, request):
+        plan = request.getfixturevalue(fixture)
+        for layer in plan.layers:
+            channel_mask = plan.channel_mask(layer.in_group)
+            np.testing.assert_array_equal(layer.row_mask, channel_mask)
+
+    @pytest.mark.parametrize("fixture", ["vgg_plan", "resnet_plan"])
+    def test_no_mixed_products(self, fixture, request):
+        """Encrypted rows never multiply plaintext channels and vice versa."""
+        plan = request.getfixturevalue(fixture)
+        for layer in plan.layers:
+            channel_mask = plan.channel_mask(layer.in_group)
+            mixed = layer.row_mask ^ channel_mask
+            assert not mixed.any()
+
+    @pytest.mark.parametrize("fixture", ["vgg_plan", "resnet_plan"])
+    def test_selective_layers_meet_requested_ratio(self, fixture, request):
+        plan = request.getfixturevalue(fixture)
+        for layer in plan.selective_layers:
+            minimum = int(np.ceil(plan.ratio * layer.n_rows))
+            assert layer.row_mask.sum() >= minimum
+
+    def test_validate_passes_on_built_plans(self, vgg_plan, resnet_plan):
+        vgg_plan.validate()
+        resnet_plan.validate()
+
+    def test_validate_catches_corruption(self, vgg_plan):
+        layer = vgg_plan.selective_layers[0]
+        original = layer.row_mask.copy()
+        try:
+            layer.row_mask = ~layer.row_mask
+            with pytest.raises(PlanError):
+                vgg_plan.validate()
+        finally:
+            layer.row_mask = original
+
+    def test_encrypted_rows_have_largest_importance(self):
+        """On a purely sequential model (single consumer per tensor) the
+        encrypted rows must be exactly the top-ℓ1 rows of each SE layer."""
+        set_init_rng(1)
+        plan = ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.5)
+        for layer in plan.selective_layers:
+            if layer.kind != "conv":
+                continue
+            mask = layer.row_mask
+            if mask.any() and (~mask).any():
+                assert layer.importance[mask].min() >= layer.importance[~mask].max()
+
+
+class TestRatioSemantics:
+    @pytest.mark.parametrize("ratio", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_realized_ratio_at_least_requested(self, ratio):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(vgg16(width_scale=0.125), ratio)
+        assert plan.realized_ratio >= ratio - 1e-9
+
+    def test_realized_ratio_monotone_in_ratio(self):
+        set_init_rng(0)
+        model = vgg16(width_scale=0.125)
+        realized = [
+            ModelEncryptionPlan.build(model, r).realized_ratio
+            for r in (0.1, 0.5, 0.9)
+        ]
+        assert realized[0] < realized[1] < realized[2]
+
+    def test_ratio_one_encrypts_everything(self):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(vgg16(width_scale=0.125), 1.0)
+        assert plan.realized_ratio == pytest.approx(1.0)
+        for layer in plan.layers:
+            assert layer.row_mask.all()
+
+    def test_ratio_zero_leaves_only_boundary(self):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.0)
+        for layer in plan.layers:
+            if layer.fully_encrypted:
+                assert layer.row_mask.all()
+
+
+class TestQueries:
+    def test_layer_lookup_by_name(self, vgg_plan):
+        name = vgg_plan.layers[3].name
+        assert vgg_plan.layer(name).name == name
+
+    def test_layer_lookup_missing(self, vgg_plan):
+        with pytest.raises(PlanError):
+            vgg_plan.layer("nonexistent")
+
+    def test_weight_masks_shapes(self, vgg_plan):
+        masks = vgg_plan.weight_masks()
+        for layer in vgg_plan.layers:
+            assert masks[layer.name].shape == layer.weight_shape
+
+    def test_weight_mask_fraction_matches_rows(self, vgg_plan):
+        masks = vgg_plan.weight_masks()
+        for layer in vgg_plan.layers:
+            mask = masks[layer.name]
+            assert mask.mean() == pytest.approx(layer.encrypted_row_fraction)
+
+    def test_channel_mask_unknown_group(self, vgg_plan):
+        with pytest.raises(PlanError):
+            vgg_plan.channel_mask(-12345)
+
+    def test_summary_mentions_every_layer(self, vgg_plan):
+        text = vgg_plan.summary()
+        for layer in vgg_plan.layers:
+            assert layer.name in text
+
+
+class TestTrafficAccounting:
+    def test_traffic_totals_match_shapes(self, vgg_plan):
+        for traffic, layer in zip(vgg_plan.layer_traffic(include_pools=False), vgg_plan.layers):
+            weight_total = traffic.weight_bytes_encrypted + traffic.weight_bytes_plain
+            assert weight_total == layer.weight_bytes
+            in_total = traffic.input_bytes_encrypted + traffic.input_bytes_plain
+            assert in_total == int(np.prod(layer.in_shape)) * 4
+
+    def test_gemm_dimensions_conv(self, vgg_plan):
+        conv_traffic = [t for t in vgg_plan.layer_traffic() if t.kind == "conv"]
+        for traffic in conv_traffic:
+            layer = vgg_plan.layer(traffic.name)
+            out_c, in_c, k, _ = layer.weight_shape
+            assert traffic.gemm_n == out_c
+            assert traffic.gemm_k == in_c * k * k
+            assert traffic.gemm_m == layer.out_shape[0] * layer.out_shape[2] * layer.out_shape[3]
+
+    def test_macs_consistency(self, vgg_plan):
+        for traffic in vgg_plan.layer_traffic(include_pools=False):
+            assert traffic.macs == traffic.gemm_m * traffic.gemm_n * traffic.gemm_k
+
+    def test_pool_traffic_has_no_weights(self, vgg_plan):
+        pools = [t for t in vgg_plan.layer_traffic() if t.kind == "pool"]
+        assert len(pools) == 5
+        for traffic in pools:
+            assert traffic.weight_bytes_encrypted == 0
+            assert traffic.weight_bytes_plain == 0
+
+    def test_encrypted_fraction_bounds(self, vgg_plan):
+        for traffic in vgg_plan.layer_traffic():
+            assert 0.0 <= traffic.encrypted_fraction <= 1.0
+
+    def test_boundary_layer_traffic_fully_encrypted(self, vgg_plan):
+        first_conv = vgg_plan.layers[0]
+        traffic = next(
+            t for t in vgg_plan.layer_traffic() if t.name == first_conv.name
+        )
+        assert traffic.weight_bytes_plain == 0
+        assert traffic.input_bytes_plain == 0
+
+
+class TestResNetSpecifics:
+    def test_residual_groups_share_masks(self, resnet_plan):
+        """All consumers of one residual chain see the same channel mask."""
+        groups: dict[int, list] = {}
+        for layer in resnet_plan.layers:
+            groups.setdefault(layer.in_group, []).append(layer)
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            reference = members[0].row_mask
+            for member in members[1:]:
+                np.testing.assert_array_equal(member.row_mask, reference)
+
+    def test_multi_consumer_groups_exist(self, resnet_plan):
+        """ResNet must actually exercise the shared-tensor path."""
+        groups: dict[int, int] = {}
+        for layer in resnet_plan.layers:
+            groups[layer.in_group] = groups.get(layer.in_group, 0) + 1
+        assert any(count >= 2 for count in groups.values())
+
+    def test_fc_after_gap_has_unit_channel_group(self, resnet_plan):
+        fc = [p for p in resnet_plan.layers if p.kind == "fc"][0]
+        assert fc.channel_group == 1
+
+
+class TestFcChannelGrouping:
+    def test_vgg224_fc_grouped_by_channel(self):
+        set_init_rng(0)
+        model = vgg16(width_scale=0.125, input_size=64)
+        plan = ModelEncryptionPlan.build(model, 0.5, input_shape=(3, 64, 64))
+        first_fc = [p for p in plan.layers if p.kind == "fc"][0]
+        # 64/32 = 2 -> final feature map 2x2 -> 4 features per channel.
+        assert first_fc.channel_group == 4
+        assert first_fc.n_rows * 4 == first_fc.weight_shape[1]
+
+
+class TestBatchedTraffic:
+    def test_batch_scales_fmaps_not_weights(self, vgg_plan):
+        single = vgg_plan.layer_traffic(batch=1)
+        batched = vgg_plan.layer_traffic(batch=8)
+        for one, eight in zip(single, batched):
+            assert eight.weight_bytes_encrypted == one.weight_bytes_encrypted
+            assert eight.weight_bytes_plain == one.weight_bytes_plain
+            assert (
+                eight.input_bytes_encrypted + eight.input_bytes_plain
+                == 8 * (one.input_bytes_encrypted + one.input_bytes_plain)
+            )
+            assert eight.macs == 8 * one.macs
+            assert eight.gemm_m == 8 * one.gemm_m
+
+    def test_batch_validated(self, vgg_plan):
+        with pytest.raises(PlanError):
+            vgg_plan.layer_traffic(batch=0)

@@ -1,0 +1,153 @@
+"""Criticality-premise tests: ℓ1-row ablation orderings (Li et al. [13])."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import (
+    ABLATION_POLICIES,
+    ablate_kernel_rows,
+    row_ablation_study,
+)
+from repro.nn.data import SyntheticCIFAR10
+from repro.nn.layers import Conv2d, set_init_rng
+from repro.nn.models import vgg16
+from repro.nn.optim import Adam
+from repro.nn.training import evaluate, fit
+
+
+@pytest.fixture(scope="module")
+def trained_model_and_data():
+    gen = SyntheticCIFAR10(noise=0.2)
+    train = gen.sample(512, seed=1)
+    test = gen.sample(200, seed=2)
+    set_init_rng(0)
+    # Width 0.25: the criticality premise needs some over-parameterization
+    # (redundancy) to show; tiny models make every row load-bearing.
+    model = vgg16(width_scale=0.25)
+    fit(model, train, Adam(list(model.parameters()), lr=2e-3), epochs=8, batch_size=64)
+    return model, train, test
+
+
+class TestAblation:
+    def test_masks_match_fraction(self, trained_model_and_data):
+        model, _, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        masks = ablate_kernel_rows(model, 0.5, "least-important")
+        model.load_state_dict(snapshot)
+        for name, mask in masks.items():
+            assert mask.sum() == pytest.approx(mask.size / 2, abs=1)
+
+    def test_rows_actually_zeroed(self, trained_model_and_data):
+        model, _, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        masks = ablate_kernel_rows(model, 0.3, "least-important")
+        named = dict(model.named_modules())
+        for name, mask in masks.items():
+            module = named[name]
+            assert isinstance(module, Conv2d)
+            assert np.all(module.weight.data[:, mask] == 0.0)
+        model.load_state_dict(snapshot)
+
+    def test_skip_first_leaves_stem(self, trained_model_and_data):
+        model, _, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        masks = ablate_kernel_rows(model, 0.5, "most-important", skip_first=2)
+        conv_names = [
+            n for n, m in model.named_modules() if isinstance(m, Conv2d)
+        ]
+        assert conv_names[0] not in masks
+        assert conv_names[1] not in masks
+        model.load_state_dict(snapshot)
+
+    def test_fraction_validated(self, trained_model_and_data):
+        model, _, _ = trained_model_and_data
+        with pytest.raises(ValueError):
+            ablate_kernel_rows(model, 1.5)
+
+    def test_unknown_policy(self, trained_model_and_data):
+        model, _, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        with pytest.raises(ValueError, match="policy"):
+            ablate_kernel_rows(model, 0.5, "alphabetical")
+        model.load_state_dict(snapshot)
+
+
+class TestStudy:
+    def test_study_restores_model(self, trained_model_and_data):
+        model, train, test = trained_model_and_data
+        before = evaluate(model, test)
+        row_ablation_study(
+            model, test, fractions=(0.3,), calibration_images=train.images[:128]
+        )
+        assert evaluate(model, test) == pytest.approx(before)
+
+    def test_criticality_ordering(self, trained_model_and_data):
+        """The SE premise: low-ℓ1 rows matter least (Section III-A)."""
+        model, train, test = trained_model_and_data
+        result = row_ablation_study(
+            model,
+            test,
+            fractions=(0.3, 0.5),
+            calibration_images=train.images[:256],
+        )
+        for index in range(2):
+            least = result.accuracy["least-important"][index]
+            most = result.accuracy["most-important"][index]
+            assert least >= most
+        # At 50% removal the gap must be substantial.
+        assert result.drop("most-important", 1) > result.drop("least-important", 1)
+
+    def test_removing_nothing_changes_nothing(self, trained_model_and_data):
+        model, train, test = trained_model_and_data
+        result = row_ablation_study(model, test, fractions=(0.0,))
+        for policy in ABLATION_POLICIES:
+            assert result.accuracy[policy][0] == pytest.approx(
+                result.baseline_accuracy
+            )
+
+
+class TestBatchNormRecalibration:
+    def test_recalibration_restores_accuracy_after_stat_corruption(
+        self, trained_model_and_data
+    ):
+        from repro.core.pruning import recalibrate_batchnorm
+        from repro.nn.layers import BatchNorm2d
+
+        model, train, test = trained_model_and_data
+        snapshot = model.state_dict()
+        before = evaluate(model, test)
+        # Corrupt every BN's running statistics.
+        for module in model.modules():
+            if isinstance(module, BatchNorm2d):
+                module.running_mean[:] = 5.0
+                module.running_var[:] = 0.01
+        corrupted = evaluate(model, test)
+        recalibrate_batchnorm(model, train.images[:256])
+        recovered = evaluate(model, test)
+        model.load_state_dict(snapshot)
+        assert corrupted < before
+        assert recovered > corrupted
+        assert recovered >= before - 0.1
+
+    def test_recalibration_leaves_model_in_eval_mode(self, trained_model_and_data):
+        from repro.core.pruning import recalibrate_batchnorm
+
+        model, train, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        recalibrate_batchnorm(model, train.images[:64])
+        assert not model.training
+        model.load_state_dict(snapshot)
+
+    def test_momentum_restored(self, trained_model_and_data):
+        from repro.core.pruning import recalibrate_batchnorm
+        from repro.nn.layers import BatchNorm2d
+
+        model, train, _ = trained_model_and_data
+        snapshot = model.state_dict()
+        momenta = [
+            m.momentum for m in model.modules() if isinstance(m, BatchNorm2d)
+        ]
+        recalibrate_batchnorm(model, train.images[:64])
+        after = [m.momentum for m in model.modules() if isinstance(m, BatchNorm2d)]
+        assert momenta == after
+        model.load_state_dict(snapshot)

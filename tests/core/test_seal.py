@@ -1,0 +1,106 @@
+"""SealScheme façade tests: layout, functional datapath, adversary view."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import SecureHeap
+from repro.core.seal import SealScheme
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    set_init_rng(0)
+    return SealScheme(vgg16(width_scale=0.125), ratio=0.5)
+
+
+class TestLayout:
+    def test_every_layer_gets_a_layout(self, scheme):
+        _, layouts = scheme.layout()
+        assert len(layouts) == len(scheme.plan.layers)
+
+    def test_region_sizes_match_plan(self, scheme):
+        heap, layouts = scheme.layout()
+        for layout, layer in zip(layouts, scheme.plan.layers):
+            encrypted = layout.encrypted_weights.size if layout.encrypted_weights else 0
+            # Heap rounds to the 128-byte alignment.
+            assert encrypted >= layer.encrypted_weight_bytes
+            assert encrypted - layer.encrypted_weight_bytes < 128
+
+    def test_criticality_routing_by_address(self, scheme):
+        heap, layouts = scheme.layout()
+        for layout in layouts:
+            if layout.encrypted_weights:
+                assert heap.is_encrypted(layout.encrypted_weights.address)
+            if layout.plain_weights:
+                assert not heap.is_encrypted(layout.plain_weights.address)
+
+    def test_boundary_layer_has_no_plain_region(self, scheme):
+        _, layouts = scheme.layout()
+        first = layouts[0]  # first CONV is a fully encrypted boundary layer
+        assert first.plain_weights is None
+        assert first.encrypted_weights is not None
+
+    def test_layout_accepts_external_heap(self, scheme):
+        heap = SecureHeap(base=0x8000_0000)
+        returned, _ = scheme.layout(heap)
+        assert returned is heap
+        assert heap.used_bytes > 0
+
+
+class TestFunctionalDatapath:
+    def test_counter_mode_roundtrip(self, scheme):
+        line = bytes(range(128))
+        ct = scheme.encrypt_line(0x1000, line, counter=7)
+        assert ct != line
+        assert scheme.decrypt_line(0x1000, ct, counter=7) == line
+
+    def test_direct_mode_roundtrip(self):
+        set_init_rng(0)
+        direct = SealScheme(vgg16(width_scale=0.125), 0.5, mode="direct")
+        line = bytes(range(128))
+        ct = direct.encrypt_line(0x1000, line)
+        assert direct.decrypt_line(0x1000, ct) == line
+
+    def test_invalid_mode_rejected(self):
+        set_init_rng(0)
+        with pytest.raises(ValueError, match="mode"):
+            SealScheme(vgg16(width_scale=0.125), 0.5, mode="xts")
+
+
+class TestSnoopedView:
+    def test_nan_exactly_on_encrypted_entries(self, scheme):
+        view = scheme.snooped_view()
+        for name, values in view.weights.items():
+            mask = view.masks[name]
+            assert np.isnan(values[mask]).all()
+            assert not np.isnan(values[~mask]).any()
+
+    def test_plaintext_weights_match_model(self, scheme):
+        view = scheme.snooped_view()
+        named = dict(scheme.model.named_parameters())
+        for name, values in view.weights.items():
+            mask = view.masks[name]
+            original = named[f"{name}.weight"].data
+            np.testing.assert_allclose(values[~mask], original[~mask])
+
+    def test_known_fraction_consistent_with_realized_ratio(self, scheme):
+        view = scheme.snooped_view()
+        assert view.known_fraction() == pytest.approx(
+            1.0 - scheme.plan.realized_ratio, abs=0.02
+        )
+
+    def test_higher_ratio_leaks_less(self):
+        set_init_rng(0)
+        model = vgg16(width_scale=0.125)
+        low = SealScheme(model, 0.2).snooped_view().known_fraction()
+        high = SealScheme(model, 0.8).snooped_view().known_fraction()
+        assert high < low
+
+    def test_view_is_a_copy(self, scheme):
+        view = scheme.snooped_view()
+        name = scheme.plan.layers[0].name
+        view.weights[name][...] = 0.0
+        named = dict(scheme.model.named_parameters())
+        assert not np.allclose(named[f"{name}.weight"].data, 0.0)

@@ -1,0 +1,89 @@
+"""Plan-serialization tests: round trips, validation on load, file I/O."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ModelEncryptionPlan, PlanError
+from repro.core.serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.nn.layers import set_init_rng
+from repro.nn.models import mlp, resnet18, vgg16
+
+
+@pytest.fixture(scope="module")
+def plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(width_scale=0.125), 0.5)
+
+
+class TestRoundTrip:
+    def test_layers_survive(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert len(restored.layers) == len(plan.layers)
+        for a, b in zip(plan.layers, restored.layers):
+            assert a.name == b.name
+            np.testing.assert_array_equal(a.row_mask, b.row_mask)
+            np.testing.assert_allclose(a.importance, b.importance)
+            assert a.weight_shape == b.weight_shape
+
+    def test_group_masks_survive(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        for group, mask in plan.group_masks.items():
+            np.testing.assert_array_equal(restored.group_masks[group], mask)
+
+    def test_traffic_identical(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        for a, b in zip(plan.layer_traffic(), restored.layer_traffic()):
+            assert a == b
+
+    def test_queries_work_after_restore(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        name = plan.layers[3].name
+        assert restored.layer(name).name == name
+        assert restored.realized_ratio == pytest.approx(plan.realized_ratio)
+
+    def test_aux_plans_survive(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert len(restored.aux) == len(plan.aux)
+        a = plan.aux_channel_masks()
+        b = restored.aux_channel_masks()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+    @pytest.mark.parametrize("builder", [resnet18, mlp])
+    def test_other_architectures(self, builder):
+        set_init_rng(0)
+        kwargs = {"width_scale": 0.125} if builder is resnet18 else {}
+        original = ModelEncryptionPlan.build(builder(**kwargs), 0.3)
+        restored = plan_from_dict(plan_to_dict(original))
+        assert restored.model_name == original.model_name
+        restored.validate()
+
+
+class TestValidationOnLoad:
+    def test_wrong_version_rejected(self, plan):
+        payload = plan_to_dict(plan)
+        payload["format_version"] = 99
+        with pytest.raises(PlanError, match="format version"):
+            plan_from_dict(payload)
+
+    def test_corrupted_mask_rejected(self, plan):
+        payload = plan_to_dict(plan)
+        payload["layers"][4]["row_mask"] = [
+            1 - v for v in payload["layers"][4]["row_mask"]
+        ]
+        with pytest.raises(PlanError):
+            plan_from_dict(payload)
+
+    def test_json_serializable(self, plan):
+        json.dumps(plan_to_dict(plan))  # must not raise
+
+
+class TestFileIO:
+    def test_save_and_load(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, str(path))
+        restored = load_plan(str(path))
+        assert restored.model_name == plan.model_name
+        assert restored.ratio == plan.ratio

@@ -1,0 +1,142 @@
+"""AES block-cipher tests against FIPS-197 / NIST vectors and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, gf_mul, xtime
+
+
+class TestGaloisField:
+    def test_xtime_known_values(self):
+        # {57} * {02} = {ae} (FIPS-197 section 4.2.1 example chain)
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47
+        assert xtime(0x47) == 0x8E
+        assert xtime(0x8E) == 0x07
+
+    def test_fips_example_multiplication(self):
+        # FIPS-197: {57} x {13} = {fe}
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_multiplication_identity(self):
+        for value in range(256):
+            assert gf_mul(value, 1) == value
+            assert gf_mul(1, value) == value
+
+    def test_multiplication_by_zero(self):
+        for value in range(256):
+            assert gf_mul(value, 0) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_multiplication_commutes(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_multiplication_distributes_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_every_nonzero_element_has_inverse(self):
+        # gf_mul forms the multiplicative group of GF(2^8) on 1..255.
+        for value in range(1, 256):
+            inverses = [x for x in range(1, 256) if gf_mul(value, x) == 1]
+            assert len(inverses) == 1
+
+
+class TestSbox:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_known_sbox_entries(self):
+        # Spot values from the FIPS-197 S-box table.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(SBOX[value] != value for value in range(256))
+
+
+class TestFips197Vectors:
+    """Appendix C of FIPS-197: the canonical known-answer tests."""
+
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_nist_sp80038a_aes128_ecb(self):
+        # NIST SP 800-38A F.1.1 ECB-AES128 block 1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_encrypt(self, key_len):
+        key = bytes(range(key_len))
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(self.PLAINTEXT)) == self.PLAINTEXT
+
+
+class TestRoundTripProperties:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_keys_and_blocks(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_encryption_changes_the_block(self, block):
+        cipher = AES(bytes(range(16)))
+        assert cipher.encrypt_block(block) != block
+
+    def test_different_keys_give_different_ciphertext(self):
+        block = bytes(16)
+        a = AES(bytes(16)).encrypt_block(block)
+        b = AES(bytes([1] * 16)).encrypt_block(block)
+        assert a != b
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 33])
+    def test_rejects_bad_key_lengths(self, bad_len):
+        with pytest.raises(ValueError):
+            AES(bytes(bad_len))
+
+    @pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+    def test_rejects_bad_block_lengths(self, bad_len):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(bad_len))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(bad_len))
+
+    def test_rounds_by_key_size(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 16

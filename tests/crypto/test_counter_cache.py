@@ -1,0 +1,149 @@
+"""Counter-cache model tests: geometry, LRU behaviour, counter semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.counter_cache import CounterCache, CounterCacheConfig
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = CounterCacheConfig()
+        assert config.num_blocks * config.block_bytes == config.size_bytes
+        assert config.num_sets * config.associativity == config.num_blocks
+
+    @pytest.mark.parametrize("kb", [24, 96, 384, 1536])
+    def test_paper_sweep_sizes_are_valid(self, kb):
+        config = CounterCacheConfig(size_bytes=kb * 1024)
+        assert config.num_sets >= 1
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CounterCacheConfig(size_bytes=1000, block_bytes=64)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            CounterCacheConfig(size_bytes=64 * 10, block_bytes=64, associativity=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CounterCacheConfig(size_bytes=0)
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = CounterCache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_spatial_locality_within_counter_block(self):
+        # Addresses in the same 4KB page share a counter block.
+        cache = CounterCache()
+        assert cache.access(0x0000) is False
+        assert cache.access(0x0080) is True
+        assert cache.access(0x0FFF) is True
+        assert cache.access(0x1000) is False  # next page, new block
+
+    def test_lru_eviction(self):
+        config = CounterCacheConfig(
+            size_bytes=4 * 64, block_bytes=64, associativity=2,
+            data_bytes_per_counter_block=4096,
+        )
+        cache = CounterCache(config)  # 2 sets x 2 ways
+        stride = 4096 * config.num_sets  # same set
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        cache.access(0 * stride)  # touch 0, making 1 the LRU
+        cache.access(2 * stride)  # evicts 1
+        assert cache.access(0 * stride) is True
+        assert cache.access(1 * stride) is False
+        assert cache.stats.evictions >= 1
+
+    def test_hit_rate_computation(self):
+        cache = CounterCache()
+        for _ in range(4):
+            cache.access(0x2000)
+        assert cache.stats.hit_rate == pytest.approx(3 / 4)
+
+    def test_hit_rate_empty(self):
+        assert CounterCache().stats.hit_rate == 0.0
+
+    def test_occupancy_grows_then_saturates(self):
+        config = CounterCacheConfig(size_bytes=8 * 64, block_bytes=64, associativity=8)
+        cache = CounterCache(config)
+        for page in range(20):
+            cache.access(page * 4096)
+        assert cache.occupancy == config.num_blocks
+
+
+class TestCounterSemantics:
+    def test_counter_starts_at_zero(self):
+        cache = CounterCache()
+        assert cache.counter_of(0x3000) == 0
+
+    def test_write_increments_counter(self):
+        cache = CounterCache()
+        cache.access(0x3000, write=True)
+        assert cache.counter_of(0x3000) == 1
+        cache.access(0x3000, write=True)
+        assert cache.counter_of(0x3000) == 2
+
+    def test_read_does_not_increment(self):
+        cache = CounterCache()
+        cache.access(0x3000)
+        cache.access(0x3000)
+        assert cache.counter_of(0x3000) == 0
+
+    def test_counters_survive_eviction_via_writeback(self):
+        config = CounterCacheConfig(
+            size_bytes=2 * 64, block_bytes=64, associativity=2,
+        )
+        cache = CounterCache(config)  # 1 set, 2 ways
+        cache.access(0 * 4096, write=True)
+        cache.access(1 * 4096, write=True)
+        cache.access(2 * 4096, write=True)  # evicts page 0 (dirty)
+        assert cache.stats.writebacks >= 1
+        assert cache.counter_of(0 * 4096) == 1  # from the backing store
+
+    def test_flush_writes_back_and_clears(self):
+        cache = CounterCache()
+        cache.access(0x0, write=True)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.counter_of(0x0) == 1
+        assert cache.access(0x0) is False  # cold after flush
+
+    def test_per_line_counters_are_independent(self):
+        cache = CounterCache()
+        cache.access(0x0000, write=True)
+        cache.access(0x0080, write=True)
+        cache.access(0x0080, write=True)
+        assert cache.counter_of(0x0000) == 1
+        assert cache.counter_of(0x0080) == 2
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_conserve_accesses(self, addresses):
+        cache = CounterCache(CounterCacheConfig(size_bytes=8 * 64, block_bytes=64, associativity=4))
+        for address in addresses:
+            cache.access(address * 128)
+        assert cache.stats.accesses == len(addresses)
+        assert 0.0 <= cache.stats.hit_rate <= 1.0
+
+    @given(st.lists(st.tuples(st.integers(0, 64), st.booleans()), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_counter_equals_write_count(self, operations):
+        cache = CounterCache(CounterCacheConfig(size_bytes=4 * 64, block_bytes=64, associativity=2))
+        writes: dict[int, int] = {}
+        for page, is_write in operations:
+            address = page * 4096
+            cache.access(address, write=is_write)
+            if is_write:
+                writes[address] = writes.get(address, 0) + 1
+        for address, count in writes.items():
+            assert cache.counter_of(address) == count

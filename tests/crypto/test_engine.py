@@ -1,0 +1,112 @@
+"""AES-engine performance-model tests: Table I data and service timing."""
+
+import pytest
+
+from repro.crypto.engine import (
+    ENGINE_SURVEY,
+    PAPER_ENGINE,
+    AesEngineModel,
+    EngineSpec,
+    aggregate_bandwidth_gbps,
+)
+
+
+class TestSurvey:
+    def test_table1_has_five_rows(self):
+        assert len(ENGINE_SURVEY) == 5
+
+    def test_table1_values_match_paper(self):
+        by_name = {spec.name.split()[0]: spec for spec in ENGINE_SURVEY}
+        assert by_name["Morioka"].throughput_gbps == 1.5
+        assert by_name["Mathew"].area_mm2 == 1.1
+        assert by_name["Mathew"].latency_cycles == 20
+        assert by_name["Ensilica"].throughput_gbps == 8.0
+        assert by_name["Sayilar"].power_mw == 6207.0
+        assert by_name["Liu"].latency_cycles == 152
+
+    def test_paper_engine_parameters(self):
+        # Section IV-A: 20-cycle latency, 8 GB/s per engine.
+        assert PAPER_ENGINE.latency_cycles == 20
+        assert PAPER_ENGINE.throughput_gbps == 8.0
+
+    def test_bandwidth_gap_claim(self):
+        # The paper's headline arithmetic: six engines = 48 GB/s, far below
+        # the 177 GB/s GDDR5 bus.
+        assert aggregate_bandwidth_gbps(6) == pytest.approx(48.0)
+        assert aggregate_bandwidth_gbps(6) < 160.0
+
+    def test_bytes_per_cycle_conversion(self):
+        spec = EngineSpec("x", None, None, 10, 7.0)
+        assert spec.bytes_per_cycle(0.7) == pytest.approx(10.0)
+
+    def test_bytes_per_cycle_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            PAPER_ENGINE.bytes_per_cycle(0.0)
+
+
+class TestEngineModel:
+    def test_single_line_latency(self):
+        engine = AesEngineModel()
+        done = engine.service(0, 128)
+        occupancy = 128 / engine.bytes_per_cycle
+        assert done == int(occupancy + PAPER_ENGINE.latency_cycles)
+
+    def test_back_to_back_lines_queue(self):
+        engine = AesEngineModel()
+        first = engine.service(0, 128)
+        second = engine.service(0, 128)
+        assert second > first
+
+    def test_idle_engine_does_not_queue(self):
+        engine = AesEngineModel()
+        engine.service(0, 128)
+        late = engine.service(10_000, 128)
+        occupancy = 128 / engine.bytes_per_cycle
+        assert late == int(10_000 + occupancy + PAPER_ENGINE.latency_cycles)
+
+    def test_throughput_is_respected_at_saturation(self):
+        engine = AesEngineModel()
+        lines = 1000
+        last = 0
+        for _ in range(lines):
+            last = engine.service(0, 128)
+        expected_cycles = lines * 128 / engine.bytes_per_cycle
+        assert last == pytest.approx(expected_cycles + PAPER_ENGINE.latency_cycles, rel=0.01)
+
+    def test_utilization_bounds(self):
+        engine = AesEngineModel()
+        for _ in range(10):
+            engine.service(0, 128)
+        assert 0.0 < engine.utilization(10_000) <= 1.0
+        assert engine.utilization(0) == 0.0
+
+    def test_stats_accumulate(self):
+        engine = AesEngineModel()
+        engine.service(0, 128)
+        engine.service(0, 256)
+        assert engine.lines_processed == 2
+        assert engine.bytes_processed == 384
+
+    def test_reset(self):
+        engine = AesEngineModel()
+        engine.service(0, 128)
+        engine.reset()
+        assert engine.lines_processed == 0
+        assert engine.bytes_processed == 0
+        assert engine.service(0, 128) == int(
+            128 / engine.bytes_per_cycle + PAPER_ENGINE.latency_cycles
+        )
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            AesEngineModel().service(0, 0)
+
+    def test_faster_engine_finishes_sooner(self):
+        slow = AesEngineModel(EngineSpec("slow", None, None, 20, 4.0))
+        fast = AesEngineModel(EngineSpec("fast", None, None, 20, 16.0))
+        assert fast.service(0, 4096) < slow.service(0, 4096)
+
+    def test_aggregate_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_bandwidth_gbps(-1)
+        assert aggregate_bandwidth_gbps(0) == 0.0

@@ -1,0 +1,69 @@
+"""CLI tests (invoked in-process through repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "vgg16"
+        assert args.ratio == 0.5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--model", "alexnet"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Mathew" in out
+
+    def test_plan_prints_summary(self, capsys):
+        assert main(["plan", "--model", "mlp", "--ratio", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "SEAL plan for MLP" in out
+        assert "40%" in out
+
+    def test_plan_saves_json(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "--model", "mlp", "--output", str(path)]) == 0
+        assert path.exists()
+        from repro.core.serialize import load_plan
+
+        plan = load_plan(str(path))
+        assert plan.model_name == "MLP"
+
+    def test_snoop(self, capsys):
+        assert (
+            main(["snoop", "--model", "vgg16", "--width-scale", "0.125"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "plaintext" in out
+        assert "boundary" in out
+
+    def test_simulate_subset_of_schemes(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "mlp",
+                "--schemes",
+                "Baseline,SEAL-D",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SEAL-D" in out
+        assert "Direct " not in out
+
+    def test_figure_unsupported_number(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "3"])

@@ -1,0 +1,57 @@
+"""Reporting-helper tests."""
+
+from repro.eval.reporting import ascii_table, bar, format_series, normalize_to_first
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        table = ascii_table(("a", "b"), [(1, 2.5), ("x", 3.0)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.500" in lines[2]
+
+    def test_column_width_adapts(self):
+        table = ascii_table(("col",), [("averyverylongvalue",)])
+        assert "averyverylongvalue" in table
+
+    def test_custom_float_format(self):
+        table = ascii_table(("v",), [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in table
+
+    def test_empty_rows(self):
+        table = ascii_table(("a",), [])
+        assert len(table.splitlines()) == 2
+
+
+class TestNormalization:
+    def test_first_becomes_one(self):
+        assert normalize_to_first([2.0, 1.0, 4.0]) == [1.0, 0.5, 2.0]
+
+    def test_empty(self):
+        assert normalize_to_first([]) == []
+
+    def test_zero_reference(self):
+        assert normalize_to_first([0.0, 5.0]) == [0.0, 0.0]
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, width=10) == "#" * 10
+        assert bar(0.0, width=10) == "." * 10
+
+    def test_clamps(self):
+        assert bar(2.0, width=4) == "####"
+        assert bar(-1.0, width=4) == "...."
+
+
+class TestSeries:
+    def test_contains_labels_and_values(self):
+        out = format_series("title", ["a", "bb"], [1.0, 0.5])
+        assert "title" in out
+        assert "bb" in out
+        assert "0.500" in out
+
+    def test_normalized_mode(self):
+        out = format_series("t", ["x", "y"], [2.0, 1.0], normalized=True)
+        assert " 1.000" in out and " 0.500" in out

@@ -1,0 +1,88 @@
+"""Security-sweep report formatting (synthetic outcomes — no training)."""
+
+import math
+
+from repro.attacks.security import SecurityOutcome
+from repro.attacks.transferability import TransferResult
+from repro.eval.experiments import SecuritySweepResult
+
+
+def fake_outcome(model: str) -> SecurityOutcome:
+    accuracy = {
+        "white-box": 0.94,
+        "black-box": 0.75,
+        SecurityOutcome.seal_key(0.5): 0.76,
+        SecurityOutcome.seal_key(0.2): 0.80,
+    }
+    transfer = {
+        key: TransferResult(
+            substitute_kind="seal" if key.startswith("seal") else key,
+            ratio=float(key.split("@")[1]) if "@" in key else None,
+            examples=100,
+            substitute_success_rate=1.0,
+            transferability=value,
+            targeted_transferability=value / 2,
+        )
+        for key, value in {
+            "white-box": 1.0,
+            "black-box": 0.2,
+            SecurityOutcome.seal_key(0.5): 0.18,
+            SecurityOutcome.seal_key(0.2): 0.45,
+        }.items()
+    }
+    return SecurityOutcome(
+        model=model,
+        victim_accuracy=0.94,
+        accuracy=accuracy,
+        transferability=transfer,
+    )
+
+
+class TestSweepResult:
+    def setup_method(self):
+        self.sweep = SecuritySweepResult(
+            outcomes={"vgg16": fake_outcome("vgg16"), "resnet18": fake_outcome("resnet18")}
+        )
+
+    def test_accuracy_rows_cover_ratio_grid(self):
+        rows = self.sweep.accuracy_rows()
+        labels = [row[0] for row in rows]
+        assert labels[0] == "white-box"
+        assert labels[-1] == "black-box"
+        assert "seal@0.50" in labels
+
+    def test_missing_ratios_render_nan(self):
+        rows = self.sweep.accuracy_rows()
+        by_label = {row[0]: row[1:] for row in rows}
+        assert all(math.isnan(v) for v in by_label["seal@0.90"])
+        assert by_label["seal@0.50"] == [0.76, 0.76]
+
+    def test_transfer_rows(self):
+        rows = self.sweep.transfer_rows()
+        by_label = {row[0]: row[1:] for row in rows}
+        assert by_label["white-box"] == [1.0, 1.0]
+        assert by_label["black-box"] == [0.2, 0.2]
+
+    def test_report_renders_both_figures(self):
+        report = self.sweep.report()
+        assert "Fig 3" in report
+        assert "Fig 4" in report
+        assert "VGG-16" in report and "ResNet-18" in report
+
+    def test_accuracy_series_order(self):
+        series = fake_outcome("vgg16").accuracy_series()
+        labels = [label for label, _ in series]
+        assert labels[0] == "white-box"
+        assert labels[-1] == "black-box"
+        # SEAL entries ordered by decreasing ratio (as in the figure).
+        seal_labels = [l for l in labels if l.startswith("seal@")]
+        ratios = [float(l.split("@")[1]) for l in seal_labels]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_report_without_transfer(self):
+        outcome = fake_outcome("vgg16")
+        outcome.transferability = {}
+        sweep = SecuritySweepResult(outcomes={"vgg16": outcome})
+        report = sweep.report()
+        assert "Fig 3" in report
+        assert "Fig 4" not in report

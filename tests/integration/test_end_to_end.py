@@ -1,0 +1,145 @@
+"""Cross-module integration tests: the full SEAL pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    IfgsmConfig,
+    SubstituteConfig,
+    make_query_fn,
+    seal_substitute,
+    measure_transferability,
+)
+from repro.core import ModelEncryptionPlan, SealScheme, SecureHeap, summarize_traffic
+from repro.nn import Adam, SyntheticCIFAR10, fit, resnet18, set_init_rng, vgg16
+from repro.sim import SCHEMES, GpuSimulator, layer_streams, run_model, scheme_config
+
+
+class TestPlanToSimulatorPipeline:
+    """Model → plan → heap layout → traces → simulation, consistently."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        set_init_rng(0)
+        return ModelEncryptionPlan.build(vgg16(width_scale=0.25), 0.5)
+
+    def test_traffic_reaches_simulator_with_exact_criticality(self, plan):
+        config = scheme_config("SEAL-D")
+        simulator = GpuSimulator(config)
+        traffic = plan.layer_traffic()[4]
+        streams = layer_streams(config, traffic, heap=SecureHeap())
+        result = simulator.run(streams)
+        total = result.encrypted_bytes + result.bypass_bytes
+        assert total == result.data_bytes
+        assert result.encrypted_bytes / total == pytest.approx(
+            traffic.encrypted_fraction, abs=0.05
+        )
+
+    def test_summary_fraction_predicts_simulated_fraction(self, plan):
+        summary = summarize_traffic(plan)
+        result = run_model(plan, "SEAL-D")
+        simulated_fraction = result.encrypted_bytes / result.data_bytes
+        # The simulator amplifies operand reuse, but uniformly across
+        # criticalities, so the fractions must agree approximately.
+        assert simulated_fraction == pytest.approx(
+            summary.encrypted_fraction, abs=0.15
+        )
+
+    def test_all_schemes_run_the_same_work(self, plan):
+        instructions = {
+            scheme: run_model(plan, scheme).instructions for scheme in SCHEMES
+        }
+        reference = instructions["Baseline"]
+        for scheme, count in instructions.items():
+            assert count == reference, scheme
+
+
+class TestEncryptionRatioPerformanceTradeoff:
+    def test_lower_ratio_means_higher_seal_ipc(self):
+        set_init_rng(0)
+        model = vgg16()
+        results = {}
+        for ratio in (0.2, 0.8):
+            plan = ModelEncryptionPlan.build(model, ratio)
+            results[ratio] = run_model(plan, "SEAL-D").ipc
+        assert results[0.2] > results[0.8]
+
+
+class TestSecurityPipeline:
+    """Victim → SEAL snooping → substitute → transfer, at toy scale."""
+
+    def test_full_attack_chain_executes(self):
+        set_init_rng(0)
+        gen = SyntheticCIFAR10(noise=0.2)
+        train = gen.sample(160, seed=1)
+        test = gen.sample(48, seed=2)
+
+        victim = vgg16(width_scale=0.125)
+        fit(victim, train, Adam(list(victim.parameters()), lr=2e-3),
+            epochs=3, batch_size=32)
+
+        scheme = SealScheme(victim, ratio=0.5)
+        snooped = scheme.snooped_view()
+        assert 0.0 < snooped.known_fraction() < 1.0
+
+        def builder():
+            set_init_rng(3)
+            return vgg16(width_scale=0.125)
+
+        config = SubstituteConfig(
+            augmentation_rounds=1, epochs=1, max_samples=96, batch_size=16
+        )
+        substitute = seal_substitute(builder, victim, snooped, train.subset(
+            np.arange(16)
+        ), config)
+        result = measure_transferability(
+            substitute.model,
+            victim,
+            test,
+            num_examples=16,
+            config=IfgsmConfig(epsilon=0.1, alpha=0.02, iterations=5),
+            substitute_kind="seal",
+            ratio=0.5,
+        )
+        assert 0.0 <= result.transferability <= 1.0
+
+    def test_query_oracle_matches_direct_prediction(self):
+        set_init_rng(0)
+        victim = resnet18(width_scale=0.125)
+        data = SyntheticCIFAR10().sample(16, seed=0)
+        query = make_query_fn(victim)
+        from repro.nn.training import predict_labels
+
+        np.testing.assert_array_equal(
+            query(data.images), predict_labels(victim, data.images)
+        )
+
+
+class TestFunctionalEncryptionOfRealWeights:
+    def test_snooped_plus_decryption_recovers_model(self):
+        """Encrypt the critical weight bytes with the real AES datapath and
+        verify the legitimate accelerator (with the key) recovers them."""
+        set_init_rng(0)
+        model = vgg16(width_scale=0.125)
+        scheme = SealScheme(model, 0.5, mode="direct")
+        layer = scheme.plan.layers[2]
+        weights = dict(model.named_parameters())[f"{layer.name}.weight"].data
+        mask = scheme.plan.weight_masks()[layer.name]
+        critical = np.ascontiguousarray(weights[mask], dtype=np.float32)
+        raw = critical.tobytes()
+        padded = raw + bytes(-len(raw) % 16)
+        ciphertext = scheme.encrypt_line(0x1000, padded)
+        assert ciphertext != padded
+        recovered = scheme.decrypt_line(0x1000, ciphertext)[: len(raw)]
+        np.testing.assert_array_equal(
+            np.frombuffer(recovered, dtype=np.float32), critical
+        )
+
+
+class TestResNetPipeline:
+    def test_resnet_plan_simulates_under_all_schemes(self):
+        set_init_rng(0)
+        plan = ModelEncryptionPlan.build(resnet18(width_scale=0.25), 0.5)
+        ipcs = {scheme: run_model(plan, scheme).ipc for scheme in SCHEMES}
+        assert ipcs["Direct"] < ipcs["Baseline"]
+        assert ipcs["SEAL-D"] >= ipcs["Direct"]

@@ -1,0 +1,139 @@
+"""Synthetic dataset tests: determinism, structure, splits, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import (
+    Dataset,
+    SyntheticCIFAR10,
+    batch_iterator,
+    train_adversary_split,
+)
+
+
+class TestDataset:
+    def test_length_and_types(self):
+        d = Dataset(np.zeros((5, 3, 32, 32)), np.arange(5))
+        assert len(d) == 5
+        assert d.images.dtype == np.float32
+        assert d.labels.dtype == np.int64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((5, 3, 32, 32)), np.arange(4))
+
+    def test_subset(self):
+        d = Dataset(np.arange(10, dtype=np.float32).reshape(10, 1), np.arange(10))
+        sub = d.subset(np.array([2, 4]))
+        np.testing.assert_allclose(sub.labels, [2, 4])
+
+    def test_split_is_partition(self):
+        d = Dataset(np.zeros((100, 1)), np.arange(100))
+        a, b = d.split(0.9, seed=1)
+        assert len(a) == 90 and len(b) == 10
+        assert set(a.labels) | set(b.labels) == set(range(100))
+        assert not (set(a.labels) & set(b.labels))
+
+    def test_split_deterministic(self):
+        d = Dataset(np.zeros((50, 1)), np.arange(50))
+        a1, _ = d.split(0.5, seed=3)
+        a2, _ = d.split(0.5, seed=3)
+        np.testing.assert_array_equal(a1.labels, a2.labels)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_split_fraction_validated(self, bad):
+        d = Dataset(np.zeros((10, 1)), np.arange(10))
+        with pytest.raises(ValueError):
+            d.split(bad)
+
+
+class TestSyntheticCIFAR10:
+    def test_shapes_and_range(self):
+        data = SyntheticCIFAR10().sample(32, seed=0)
+        assert data.images.shape == (32, 3, 32, 32)
+        assert data.images.min() >= 0.0
+        assert data.images.max() <= 1.0
+        assert set(np.unique(data.labels)).issubset(set(range(10)))
+
+    def test_deterministic_given_seeds(self):
+        a = SyntheticCIFAR10(seed=5).sample(16, seed=2)
+        b = SyntheticCIFAR10(seed=5).sample(16, seed=2)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_sample_seeds_differ(self):
+        gen = SyntheticCIFAR10()
+        a = gen.sample(16, seed=1)
+        b = gen.sample(16, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_classes_are_separable_by_template_matching(self):
+        """A nearest-template classifier must beat chance by a wide margin —
+        the dataset carries class structure a CNN can learn."""
+        gen = SyntheticCIFAR10(noise=0.15)
+        data = gen.sample(200, seed=3)
+        templates = 0.5 + 0.5 * np.clip(gen.templates, -1.5, 1.5) / 1.5
+        flat_t = templates.reshape(10, -1)
+        flat_x = data.images.reshape(len(data), -1)
+        predictions = np.argmin(
+            ((flat_x[:, None, :] - flat_t[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        accuracy = (predictions == data.labels).mean()
+        assert accuracy > 0.5
+
+    def test_noise_makes_task_harder(self):
+        clean = SyntheticCIFAR10(noise=0.01).sample(64, seed=1)
+        noisy = SyntheticCIFAR10(noise=0.8).sample(64, seed=1)
+        # Per-class variance grows with noise.
+        assert noisy.images.std() >= clean.images.std() * 0.9
+
+    def test_standard_splits_sizes(self):
+        train, test = SyntheticCIFAR10().standard_splits(train_size=100, test_size=30)
+        assert len(train) == 100 and len(test) == 30
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR10().sample(0, seed=0)
+
+
+class TestSplitsAndBatching:
+    def test_victim_adversary_split_is_90_10(self):
+        train = SyntheticCIFAR10().sample(200, seed=0)
+        victim, adversary = train_adversary_split(train)
+        assert len(victim) == 180
+        assert len(adversary) == 20
+
+    def test_batch_iterator_covers_everything(self):
+        d = Dataset(np.zeros((25, 1)), np.arange(25))
+        seen = []
+        for _, labels in batch_iterator(d, 8, shuffle=False):
+            seen.extend(labels.tolist())
+        assert sorted(seen) == list(range(25))
+
+    def test_batch_iterator_drop_last(self):
+        d = Dataset(np.zeros((25, 1)), np.arange(25))
+        batches = list(batch_iterator(d, 8, drop_last=True))
+        assert len(batches) == 3
+        assert all(len(b[1]) == 8 for b in batches)
+
+    def test_batch_iterator_shuffles_deterministically(self):
+        d = Dataset(np.zeros((25, 1)), np.arange(25))
+        order1 = [l for _, ls in batch_iterator(d, 8, seed=4) for l in ls]
+        order2 = [l for _, ls in batch_iterator(d, 8, seed=4) for l in ls]
+        order3 = [l for _, ls in batch_iterator(d, 8, seed=5) for l in ls]
+        assert order1 == order2
+        assert order1 != order3
+
+    def test_batch_size_validated(self):
+        d = Dataset(np.zeros((5, 1)), np.arange(5))
+        with pytest.raises(ValueError):
+            list(batch_iterator(d, 0))
+
+    @given(st.integers(1, 40), st.integers(1, 15))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_sizes_property(self, n, batch_size):
+        d = Dataset(np.zeros((n, 1)), np.arange(n))
+        total = sum(len(labels) for _, labels in batch_iterator(d, batch_size))
+        assert total == n

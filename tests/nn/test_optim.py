@@ -1,0 +1,179 @@
+"""Optimizer and LR-schedule tests, including the freeze-mask mechanism
+the SEAL substitute attack depends on."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam, CosineLR, SGD, StepLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_step(optimizer, param, target):
+    """One gradient step on 0.5*||p - target||^2."""
+    optimizer.zero_grad()
+    param.grad = param.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_descent(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        quadratic_step(opt, p, np.array([0.0]))
+        np.testing.assert_allclose(p.data, [9.0])
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = SGD([p], lr=0.2, momentum=0.9)
+        target = np.array([1.0, 2.0])
+        for _ in range(200):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.array([10.0]), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                quadratic_step(opt, p, np.array([0.0]))
+            return abs(float(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+    def test_nesterov_differs_from_plain(self):
+        def run(nesterov):
+            p = Tensor(np.array([10.0]), requires_grad=True)
+            opt = SGD([p], lr=0.05, momentum=0.9, nesterov=nesterov)
+            for _ in range(5):
+                quadratic_step(opt, p, np.array([0.0]))
+            return float(p.data[0])
+
+        assert run(True) != run(False)
+
+    def test_skips_parameters_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad yet: must be a no-op
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(300):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_size_is_about_lr(self):
+        # With bias correction, |first update| ~ lr regardless of grad scale.
+        for scale in (1e-3, 1.0, 1e3):
+            p = Tensor(np.array([0.0]), requires_grad=True)
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            assert abs(float(p.data[0])) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+
+class TestFreezeMasks:
+    def test_frozen_entries_never_move(self):
+        layer = Linear(4, 2)
+        frozen = layer.weight.data.copy()
+        mask = np.zeros_like(frozen, dtype=bool)
+        mask[:, :2] = True  # freeze the first two input columns
+        opt = Adam(list(layer.parameters()), lr=0.1)
+        opt.set_freeze_mask(layer.weight, mask)
+        for _ in range(10):
+            opt.zero_grad()
+            layer.weight.grad = np.ones_like(frozen)
+            layer.bias.grad = np.ones_like(layer.bias.data)
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data[:, :2], frozen[:, :2])
+        assert not np.allclose(layer.weight.data[:, 2:], frozen[:, 2:])
+
+    def test_freeze_mask_with_sgd_momentum(self):
+        p = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.set_freeze_mask(p, np.array([True, False]))
+        for _ in range(5):
+            p.grad = np.array([1.0, 1.0])
+            opt.step()
+        assert float(p.data[0]) == 1.0
+        assert float(p.data[1]) < 1.0
+
+    def test_mask_shape_validated(self):
+        p = Tensor(np.zeros((2, 2)), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        with pytest.raises(ValueError, match="mask shape"):
+            opt.set_freeze_mask(p, np.zeros(3, dtype=bool))
+
+
+class TestValidation:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.0)
+
+    def test_non_grad_params_filtered(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=False)
+        opt = SGD([a, b], lr=0.1)
+        assert len(opt.params) == 1
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_lr_endpoints(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_lr_monotone_decrease(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=8)
+        values = []
+        for _ in range(8):
+            sched.step()
+            values.append(opt.lr)
+        assert values == sorted(values, reverse=True)
+
+    def test_schedule_validation(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, total_epochs=0)

@@ -1,0 +1,283 @@
+"""Autograd engine tests: op gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.tensor import Tensor, no_grad, unbroadcast
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn(x)
+        flat[index] = original - eps
+        minus = fn(x)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, *shapes, seed=0, atol=1e-5):
+    """Compare autograd gradients of ``op(*tensors).sum()`` to numeric."""
+    rng = np.random.default_rng(seed)
+    arrays_ = [rng.normal(size=shape) for shape in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays_]
+    out = op(*tensors)
+    out.sum().backward()
+    for index, (tensor, array) in enumerate(zip(tensors, arrays_)):
+        def scalar_fn(x, _index=index):
+            args = [Tensor(a) for a in arrays_]
+            args[_index] = Tensor(x)
+            return float(op(*args).sum().data)
+
+        numeric = numeric_gradient(scalar_fn, array.copy())
+        assert tensor.grad is not None, f"operand {index} got no grad"
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_gradient(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_sub(self):
+        check_gradient(lambda a, b: a - b, (2, 3), (2, 3))
+
+    def test_mul(self):
+        check_gradient(lambda a, b: a * b, (3, 4), (3, 4))
+
+    def test_mul_broadcast_scalar_shape(self):
+        check_gradient(lambda a, b: a * b, (3, 4), (1,))
+
+    def test_div(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 3))
+        b = rng.uniform(1.0, 2.0, size=(3, 3))
+        ta, tb = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (ta / tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, 1.0 / b)
+        np.testing.assert_allclose(tb.grad, -a / b**2)
+
+    def test_pow(self):
+        check_gradient(lambda a: (a * a + 1.5) ** 2.0, (4,))
+
+    def test_neg(self):
+        check_gradient(lambda a: -a, (5,))
+
+    def test_exp(self):
+        check_gradient(lambda a: a.exp(), (3, 3))
+
+    def test_log(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.5, 2.0, size=(4,))
+        t = Tensor(x, requires_grad=True)
+        t.log().sum().backward()
+        np.testing.assert_allclose(t.grad, 1.0 / x)
+
+    def test_tanh(self):
+        check_gradient(lambda a: a.tanh(), (3, 3))
+
+    def test_relu_gradient_masks_negatives(self):
+        t = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 0.0, 1.0])
+
+    def test_abs(self):
+        t = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        t.abs().sum().backward()
+        np.testing.assert_allclose(t.grad, [-1.0, 1.0])
+
+    def test_sqrt(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.5, 2.0, size=(4,))
+        t = Tensor(x, requires_grad=True)
+        t.sqrt().sum().backward()
+        np.testing.assert_allclose(t.grad, 0.5 / np.sqrt(x))
+
+
+class TestMatmulAndShapes:
+    def test_matmul(self):
+        check_gradient(lambda a, b: a @ b, (3, 4), (4, 5))
+
+    def test_matmul_batched(self):
+        check_gradient(lambda a, b: a @ b, (2, 3, 4), (2, 4, 5), atol=1e-4)
+
+    def test_reshape(self):
+        check_gradient(lambda a: a.reshape(6), (2, 3))
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        assert t.reshape(2, -1).shape == (2, 12)
+
+    def test_transpose(self):
+        check_gradient(lambda a: a.transpose(1, 0), (2, 3))
+
+    def test_transpose_nd(self):
+        check_gradient(lambda a: a.transpose(2, 0, 1), (2, 3, 4))
+
+    def test_T_property(self):
+        t = Tensor(np.ones((2, 5)))
+        assert t.T.shape == (5, 2)
+
+    def test_getitem(self):
+        check_gradient(lambda a: a[1], (3, 4))
+
+    def test_getitem_fancy(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        t[np.array([0, 0, 2]), np.array([1, 1, 3])].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[0, 1] = 2.0  # repeated index accumulates
+        expected[2, 3] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_pad2d(self):
+        check_gradient(lambda a: a.pad2d(1), (1, 2, 3, 3))
+
+    def test_pad2d_zero_is_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        assert t.pad2d(0) is t
+
+    def test_concatenate(self):
+        check_gradient(
+            lambda a, b: Tensor.concatenate([a, b], axis=1), (2, 3), (2, 2)
+        )
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda a: a.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda a: a.sum(axis=1), (3, 4))
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda a: a.sum(axis=0, keepdims=True), (3, 4))
+
+    def test_sum_multiple_axes(self):
+        check_gradient(lambda a: a.sum(axis=(0, 2)), (2, 3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda a: a.mean(), (3, 4))
+
+    def test_mean_axis(self):
+        check_gradient(lambda a: a.mean(axis=(2, 3)), (2, 3, 2, 2))
+
+    def test_max_gradient_routes_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+
+class TestEngineMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+        (t * 2).backward(np.ones(3))
+        np.testing.assert_allclose(t.grad, [2.0, 2.0, 2.0])
+
+    def test_gradient_accumulates_across_backwards(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 3).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0, 6.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_shared_subexpression(self):
+        # y = x*x uses x twice; grad = 2x.
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        (t * t).sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3
+        b = t * 5
+        (a + b).sum().backward()
+        np.testing.assert_allclose(t.grad, [8.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort must survive very deep graphs.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(5000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores(self):
+        with no_grad():
+            pass
+        t = Tensor(np.ones(1), requires_grad=True)
+        assert (t * 2).requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_scalar_conveniences(self):
+        t = Tensor(np.array(4.0))
+        assert t.item() == 4.0
+        assert t.size == 1
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+
+    def test_numpy_radd_uses_tensor_op(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = 1.0 + t
+        assert isinstance(out, Tensor)
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_leading_dimension(self):
+        g = np.ones((5, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 5.0))
+
+    def test_size_one_dimension(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=4),
+               elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_add_gradient_shape(self, base):
+        other_shape = base.shape[-1:]
+        a = Tensor(base, requires_grad=True)
+        b = Tensor(np.ones(other_shape), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape

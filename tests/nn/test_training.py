@@ -1,0 +1,112 @@
+"""Training-loop tests: a small CNN must actually learn the synthetic task."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import SyntheticCIFAR10
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    set_init_rng,
+)
+from repro.nn.optim import Adam
+from repro.nn.training import evaluate, fit, predict_labels, predict_logits, train_epoch
+
+
+def tiny_cnn(num_classes=10):
+    set_init_rng(0)
+    return Sequential(
+        Conv2d(3, 8, 3, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 16, 3, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(16 * 8 * 8, num_classes),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    gen = SyntheticCIFAR10(noise=0.15)
+    return gen.sample(256, seed=1), gen.sample(128, seed=2)
+
+
+class TestTraining:
+    def test_loss_decreases(self, small_task):
+        train, _ = small_task
+        model = tiny_cnn()
+        opt = Adam(list(model.parameters()), lr=3e-3)
+        first, _ = train_epoch(model, train, opt, batch_size=32, seed=0)
+        losses = [first]
+        for epoch in range(4):
+            loss, _ = train_epoch(model, train, opt, batch_size=32, seed=epoch + 1)
+            losses.append(loss)
+        assert losses[-1] < losses[0]
+
+    def test_model_learns_above_chance(self, small_task):
+        train, test = small_task
+        model = tiny_cnn()
+        opt = Adam(list(model.parameters()), lr=3e-3)
+        report = fit(model, train, opt, epochs=8, eval_set=test, batch_size=32)
+        assert report.final_accuracy > 0.3  # chance is 0.10
+
+    def test_fit_records_history(self, small_task):
+        train, test = small_task
+        model = tiny_cnn()
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        report = fit(model, train, opt, epochs=3, eval_set=test, batch_size=64)
+        assert len(report.train_loss) == 3
+        assert len(report.eval_accuracy) == 3
+
+    def test_fit_without_eval_set(self, small_task):
+        train, _ = small_task
+        model = tiny_cnn()
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        report = fit(model, train, opt, epochs=1)
+        assert report.eval_accuracy == []
+        assert np.isnan(report.final_accuracy)
+
+    def test_fit_epochs_validated(self, small_task):
+        train, _ = small_task
+        model = tiny_cnn()
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        with pytest.raises(ValueError):
+            fit(model, train, opt, epochs=0)
+
+
+class TestPrediction:
+    def test_predict_logits_shape(self, small_task):
+        _, test = small_task
+        logits = predict_logits(tiny_cnn(), test.images)
+        assert logits.shape == (len(test), 10)
+
+    def test_predict_labels_range(self, small_task):
+        _, test = small_task
+        labels = predict_labels(tiny_cnn(), test.images)
+        assert labels.min() >= 0 and labels.max() < 10
+
+    def test_prediction_batching_is_consistent(self, small_task):
+        _, test = small_task
+        model = tiny_cnn()
+        a = predict_logits(model, test.images, batch_size=16)
+        b = predict_logits(model, test.images, batch_size=128)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_evaluate_bounds(self, small_task):
+        _, test = small_task
+        accuracy = evaluate(tiny_cnn(), test)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_prediction_leaves_no_graph(self, small_task):
+        _, test = small_task
+        model = tiny_cnn()
+        predict_logits(model, test.images)
+        # Inference ran under no_grad: parameters must have no grads.
+        assert all(p.grad is None for p in model.parameters())

@@ -1,0 +1,69 @@
+"""Memory-authentication performance-model tests (extension of [24])."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import gtx480_config
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import Access, MemRequest
+
+
+def auth_config(mode="counter", selective=False):
+    base = gtx480_config(mode, selective=selective)
+    return dataclasses.replace(
+        base,
+        encryption=dataclasses.replace(base.encryption, authenticate=True),
+    )
+
+
+class TestAuthenticatedController:
+    def test_mac_traffic_charged_per_line(self):
+        mc = MemoryController(0, auth_config())
+        mc.submit(MemRequest(0, 512, Access.READ, True), 0)
+        assert mc.stats.mac_bytes == 4 * 8  # 4 lines x 8-byte tags
+
+    def test_authentication_adds_latency(self):
+        plain = MemoryController(0, gtx480_config("counter"))
+        authed = MemoryController(0, auth_config())
+        request = MemRequest(0, 128, Access.READ, True)
+        assert authed.submit(request, 0) > plain.submit(request, 0)
+
+    def test_writes_store_tags(self):
+        mc = MemoryController(0, auth_config())
+        done_plain = MemoryController(0, gtx480_config("counter")).submit(
+            MemRequest(0, 128, Access.WRITE, True), 0
+        )
+        done_auth = mc.submit(MemRequest(0, 128, Access.WRITE, True), 0)
+        assert done_auth > done_plain
+        assert mc.stats.mac_bytes == 8
+
+    def test_bypass_lines_not_authenticated(self):
+        mc = MemoryController(0, auth_config(selective=True))
+        mc.submit(MemRequest(0, 128, Access.READ, False), 0)
+        assert mc.stats.mac_bytes == 0
+
+    def test_direct_mode_also_supported(self):
+        mc = MemoryController(0, auth_config(mode="direct"))
+        mc.submit(MemRequest(0, 128, Access.READ, True), 0)
+        assert mc.stats.mac_bytes == 8
+
+    def test_total_bytes_includes_macs(self):
+        mc = MemoryController(0, auth_config())
+        mc.submit(MemRequest(0, 128, Access.READ, True), 0)
+        assert (
+            mc.stats.total_bytes
+            == mc.stats.data_bytes + mc.stats.counter_fetch_bytes + mc.stats.mac_bytes
+        )
+
+    def test_overhead_is_modest(self):
+        """8-byte tags on 128-byte lines: ~6% traffic, small slowdown."""
+        base = gtx480_config("counter")
+        plain = MemoryController(0, base)
+        authed = MemoryController(0, auth_config())
+        last_plain = last_auth = 0.0
+        for index in range(200):
+            request = MemRequest(index * 128, 128, Access.READ, True)
+            last_plain = plain.submit(request, 0)
+            last_auth = authed.submit(request, 0)
+        assert last_auth / last_plain < 1.35

@@ -1,0 +1,98 @@
+"""Configuration tests: the paper's GTX480 parameters and derived rates."""
+
+import pytest
+
+from repro.crypto.engine import PAPER_ENGINE
+from repro.sim.config import (
+    GTX480_CONFIG,
+    EncryptionConfig,
+    EncryptionMode,
+    GpuConfig,
+    gtx480_config,
+)
+
+
+class TestGtx480Defaults:
+    def test_paper_parameters(self):
+        # Section IV-A: 15 SMs, GDDR5 1848 MHz, 384-bit, 6 channels.
+        assert GTX480_CONFIG.num_sms == 15
+        assert GTX480_CONFIG.num_channels == 6
+        assert GTX480_CONFIG.core_clock_ghz == pytest.approx(0.7)
+
+    def test_total_bandwidth_matches_gtx480(self):
+        # 1848 MHz x 2 (DDR) x 48 bytes = 177.4 GB/s.
+        assert GTX480_CONFIG.total_bandwidth_gbps == pytest.approx(177.4, rel=0.01)
+
+    def test_bandwidth_gap(self):
+        # 6 engines x 8 GB/s = 48 GB/s << 177 GB/s: the paper's key gap.
+        engines = GTX480_CONFIG.num_channels * PAPER_ENGINE.throughput_gbps
+        assert engines / GTX480_CONFIG.total_bandwidth_gbps < 0.3
+
+    def test_derived_bytes_per_cycle(self):
+        assert GTX480_CONFIG.channel_bytes_per_cycle == pytest.approx(42.24, rel=0.01)
+
+    def test_peak_ipc(self):
+        assert GTX480_CONFIG.peak_ipc == 15
+
+    def test_peak_macs(self):
+        assert GTX480_CONFIG.peak_macs_per_cycle == 15 * 32
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GpuConfig(num_sms=0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            GpuConfig(line_bytes=100)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            GpuConfig(channel_bandwidth_gbps=0.0)
+
+
+class TestEncryptionConfig:
+    def test_labels_match_paper(self):
+        assert EncryptionConfig().label() == "Baseline"
+        assert EncryptionConfig(mode=EncryptionMode.DIRECT).label() == "Direct"
+        assert EncryptionConfig(mode=EncryptionMode.COUNTER).label() == "Counter"
+        assert (
+            EncryptionConfig(mode=EncryptionMode.DIRECT, selective=True).label()
+            == "SEAL-D"
+        )
+        assert (
+            EncryptionConfig(mode=EncryptionMode.COUNTER, selective=True).label()
+            == "SEAL-C"
+        )
+
+    def test_enabled_flag(self):
+        assert not EncryptionConfig().enabled
+        assert EncryptionConfig(mode=EncryptionMode.DIRECT).enabled
+
+    def test_with_encryption_copies(self):
+        new = GTX480_CONFIG.with_encryption(
+            EncryptionConfig(mode=EncryptionMode.DIRECT)
+        )
+        assert new.encryption.enabled
+        assert not GTX480_CONFIG.encryption.enabled
+        assert new.num_sms == GTX480_CONFIG.num_sms
+
+
+class TestFactory:
+    def test_string_mode_accepted(self):
+        config = gtx480_config("direct")
+        assert config.encryption.mode is EncryptionMode.DIRECT
+
+    @pytest.mark.parametrize("kb", [24, 96, 384, 1536])
+    def test_counter_cache_split_across_channels(self, kb):
+        config = gtx480_config("counter", counter_cache_kb=kb)
+        per_mc = config.encryption.counter_cache.size_bytes
+        assert per_mc * config.num_channels == pytest.approx(kb * 1024, rel=0.05)
+
+    def test_engine_bytes_per_cycle(self):
+        config = gtx480_config("direct")
+        assert config.engine_bytes_per_cycle == pytest.approx(8.0 / 0.7, rel=0.01)
+
+    def test_selective_flag(self):
+        assert gtx480_config("direct", selective=True).encryption.selective

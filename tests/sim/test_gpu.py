@@ -1,0 +1,223 @@
+"""GPU simulator tests: event ordering, IPC accounting, scheme ordering."""
+
+import pytest
+
+from repro.sim.config import gtx480_config
+from repro.sim.gpu import GpuSimulator
+from repro.sim.request import Access, MemRequest
+from repro.sim.sm import TileStep
+
+
+def step(compute=100, read_bytes=0, write_bytes=0, encrypted=True, address=0):
+    reads = (
+        (MemRequest(address, read_bytes, Access.READ, encrypted),)
+        if read_bytes
+        else ()
+    )
+    writes = (
+        (MemRequest(address + 1 << 20, write_bytes, Access.WRITE, encrypted),)
+        if write_bytes
+        else ()
+    )
+    return TileStep(compute_cycles=compute, reads=reads, writes=writes)
+
+
+class TestBasicExecution:
+    def test_empty_streams(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        result = sim.run([[] for _ in range(15)])
+        assert result.cycles == 0
+        assert result.instructions == 0
+
+    def test_pure_compute_ipc_is_peak(self):
+        config = gtx480_config("none")
+        sim = GpuSimulator(config)
+        streams = [[step(compute=1000)] * 5 for _ in range(config.num_sms)]
+        result = sim.run(streams)
+        assert result.ipc == pytest.approx(config.peak_ipc, rel=0.01)
+
+    def test_single_sm_ipc_is_one(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        result = sim.run([[step(compute=500)] * 4])
+        assert result.ipc == pytest.approx(1.0, rel=0.01)
+
+    def test_instructions_counted(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        result = sim.run([[step(compute=100), step(compute=50)]])
+        assert result.instructions == 150
+
+    def test_custom_instruction_count(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        result = sim.run([[TileStep(compute_cycles=10, instructions=40)]])
+        assert result.instructions == 40
+
+    def test_too_many_streams_rejected(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        with pytest.raises(ValueError):
+            sim.run([[] for _ in range(16)])
+
+    def test_writes_extend_completion(self):
+        config = gtx480_config("none")
+        sim = GpuSimulator(config)
+        no_write = sim.run([[step(compute=10)]]).cycles
+        sim2 = GpuSimulator(config)
+        with_write = sim2.run([[step(compute=10, write_bytes=4096, encrypted=False)]]).cycles
+        assert with_write > no_write
+
+
+class TestMemoryBehaviour:
+    def test_memory_bound_stream_is_slower(self):
+        config = gtx480_config("none")
+        compute_only = GpuSimulator(config).run(
+            [[step(compute=10)] * 20 for _ in range(15)]
+        )
+        memory_heavy = GpuSimulator(config).run(
+            [
+                [step(compute=10, read_bytes=64 * 1024, encrypted=False, address=i * (1 << 22))] * 20
+                for i in range(15)
+            ]
+        )
+        assert memory_heavy.cycles > compute_only.cycles
+
+    def test_double_buffering_overlaps(self):
+        """With compute >= memory time per step, memory hides behind compute
+        (aside from the initial fill)."""
+        config = gtx480_config("none")
+        read_bytes = 1024
+        service = read_bytes / config.channel_bytes_per_cycle
+        compute = int(20 * (service + config.dram_latency_cycles))
+        steps = [step(compute=compute, read_bytes=read_bytes, encrypted=False)] * 10
+        result = GpuSimulator(config).run([steps])
+        lower = 10 * compute
+        assert result.cycles < lower * 1.2
+
+    def test_channel_interleaving_distributes_traffic(self):
+        config = gtx480_config("none")
+        sim = GpuSimulator(config)
+        # Requests at consecutive line addresses must hit all channels.
+        steps = [
+            TileStep(
+                compute_cycles=1,
+                reads=tuple(
+                    MemRequest(line * 128, 128, Access.READ, False)
+                    for line in range(12)
+                ),
+            )
+        ]
+        sim.run([steps])
+        touched = [mc for mc in sim.controllers if mc.stats.data_bytes > 0]
+        assert len(touched) == config.num_channels
+
+    def test_data_byte_conservation(self):
+        config = gtx480_config("none")
+        sim = GpuSimulator(config)
+        total = 0
+        streams = []
+        for sm in range(4):
+            s = [step(compute=10, read_bytes=4096, write_bytes=1024, encrypted=False, address=sm << 22)]
+            total += 4096 + 1024
+            streams.append(s)
+        result = sim.run(streams)
+        assert result.data_bytes == total
+
+
+class TestEncryptionSchemes:
+    def _bandwidth_bound_streams(self, config):
+        return [
+            [
+                step(compute=5, read_bytes=8192, address=(sm << 22) + i * 8192)
+                for i in range(30)
+            ]
+            for sm in range(config.num_sms)
+        ]
+
+    def test_full_encryption_hurts(self):
+        base_cfg = gtx480_config("none")
+        baseline = GpuSimulator(base_cfg).run(self._bandwidth_bound_streams(base_cfg))
+        direct_cfg = gtx480_config("direct")
+        direct = GpuSimulator(direct_cfg).run(self._bandwidth_bound_streams(direct_cfg))
+        assert direct.ipc < baseline.ipc * 0.6
+
+    def test_selective_encryption_recovers(self):
+        def mixed_streams(config):
+            streams = []
+            for sm in range(config.num_sms):
+                steps = []
+                for i in range(30):
+                    base = (sm << 22) + i * 16384
+                    steps.append(
+                        TileStep(
+                            compute_cycles=5,
+                            reads=(
+                                MemRequest(base, 4096, Access.READ, True),
+                                MemRequest(base + 8192, 4096, Access.READ, False),
+                            ),
+                        )
+                    )
+                streams.append(steps)
+            return streams
+
+        direct_cfg = gtx480_config("direct")
+        full = GpuSimulator(direct_cfg).run(self._bandwidth_bound_streams(direct_cfg))
+        seal_cfg = gtx480_config("direct", selective=True)
+        seal = GpuSimulator(seal_cfg).run(mixed_streams(seal_cfg))
+        # Same total bytes per step (8 KB) but half bypasses the engine.
+        assert seal.cycles < full.cycles
+
+    def test_counter_hit_rate_reported(self):
+        config = gtx480_config("counter")
+        sim = GpuSimulator(config)
+        streams = [[step(compute=5, read_bytes=4096)] * 10]
+        result = sim.run(streams)
+        assert 0.0 <= result.counter_hit_rate <= 1.0
+
+    def test_engine_utilization_reported(self):
+        config = gtx480_config("direct")
+        sim = GpuSimulator(config)
+        result = sim.run(self._bandwidth_bound_streams(config))
+        assert result.engine_utilization > 0.3
+
+    def test_result_normalization_helpers(self):
+        config = gtx480_config("none")
+        baseline = GpuSimulator(config).run([[step(compute=100)] * 3])
+        assert baseline.normalized_ipc(baseline) == pytest.approx(1.0)
+        assert baseline.latency_ratio(baseline) == pytest.approx(1.0)
+
+
+class TestSmStats:
+    def test_per_sm_stats(self):
+        sim = GpuSimulator(gtx480_config("none"))
+        result = sim.run([[step(compute=100, read_bytes=256, encrypted=False)] * 2])
+        stats = result.sm_stats[0]
+        assert stats.steps == 2
+        assert stats.busy_cycles == 200
+        assert stats.read_requests == 2
+
+
+class TestMshrCap:
+    def test_small_cap_serializes_waves(self):
+        import dataclasses
+
+        base = gtx480_config("none")
+        capped = dataclasses.replace(base, max_outstanding_per_sm=2)
+        many_reads = tuple(
+            MemRequest(line * 128, 128, Access.READ, False) for line in range(24)
+        )
+        steps = [TileStep(compute_cycles=1, reads=many_reads)]
+        free = GpuSimulator(base).run([steps])
+        tight = GpuSimulator(capped).run([steps])
+        assert tight.cycles > free.cycles
+
+    def test_cap_does_not_change_byte_counts(self):
+        import dataclasses
+
+        base = gtx480_config("none")
+        capped = dataclasses.replace(base, max_outstanding_per_sm=2)
+        many_reads = tuple(
+            MemRequest(line * 128, 128, Access.READ, False) for line in range(24)
+        )
+        steps = [TileStep(compute_cycles=1, reads=many_reads)]
+        assert (
+            GpuSimulator(base).run([steps]).data_bytes
+            == GpuSimulator(capped).run([steps]).data_bytes
+        )

@@ -1,0 +1,168 @@
+"""Memory-controller tests: DRAM timing, encryption paths, counter fetches."""
+
+import pytest
+
+from repro.sim.config import gtx480_config
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import Access, MemRequest
+
+
+def read(address=0, size=128, encrypted=True):
+    return MemRequest(address=address, size=size, access=Access.READ, encrypted=encrypted)
+
+
+def write(address=0, size=128, encrypted=True):
+    return MemRequest(address=address, size=size, access=Access.WRITE, encrypted=encrypted)
+
+
+class TestPlainPath:
+    def test_single_read_latency(self):
+        config = gtx480_config("none")
+        mc = MemoryController(0, config)
+        done = mc.submit(read(encrypted=False), 0)
+        service = 128 / config.channel_bytes_per_cycle
+        expected = (
+            config.row_miss_penalty_cycles + service + config.dram_latency_cycles
+        )
+        assert done == pytest.approx(expected)
+
+    def test_row_buffer_hit_skips_penalty(self):
+        config = gtx480_config("none")
+        mc = MemoryController(0, config)
+        first = mc.submit(read(0, encrypted=False), 0)
+        second = mc.submit(read(128, encrypted=False), 1000)
+        service = 128 / config.channel_bytes_per_cycle
+        assert second == pytest.approx(1000 + service + config.dram_latency_cycles)
+        assert second - 1000 < first
+
+    def test_bandwidth_saturation_queues(self):
+        config = gtx480_config("none")
+        mc = MemoryController(0, config)
+        last = 0.0
+        n = 100
+        for i in range(n):
+            last = mc.submit(read(i * 128, encrypted=False), 0)
+        service = 128 / config.channel_bytes_per_cycle
+        # Completion grows linearly with queued bytes.
+        assert last >= n * service
+
+    def test_stats_accumulate(self):
+        mc = MemoryController(0, gtx480_config("none"))
+        mc.submit(read(encrypted=False), 0)
+        mc.submit(write(128, encrypted=False), 0)
+        assert mc.stats.read_requests == 1
+        assert mc.stats.write_requests == 1
+        assert mc.stats.data_bytes == 256
+        assert mc.stats.bypass_bytes == 256
+
+    def test_encryption_disabled_ignores_tag(self):
+        # Baseline GPU: even "encrypted" data just goes to DRAM.
+        mc = MemoryController(0, gtx480_config("none"))
+        mc.submit(read(encrypted=True), 0)
+        assert mc.stats.encrypted_bytes == 0
+        assert mc.engine is None
+
+
+class TestDirectPath:
+    def test_encrypted_read_slower_than_plain(self):
+        config = gtx480_config("direct")
+        mc = MemoryController(0, config)
+        plain_done = mc.submit(read(0, encrypted=False), 0)
+        mc2 = MemoryController(0, config)
+        enc_done = mc2.submit(read(0, encrypted=True), 0)
+        assert enc_done > plain_done
+
+    def test_read_adds_engine_latency(self):
+        config = gtx480_config("direct")
+        mc = MemoryController(0, config)
+        done = mc.submit(read(encrypted=True), 0)
+        # Serial path: at least DRAM latency + 20-cycle AES latency.
+        assert done > config.dram_latency_cycles + 20
+
+    def test_selective_bypass(self):
+        config = gtx480_config("direct", selective=True)
+        mc = MemoryController(0, config)
+        mc.submit(read(0, encrypted=False), 0)
+        mc.submit(read(128, encrypted=True), 0)
+        assert mc.stats.bypass_bytes == 128
+        assert mc.stats.encrypted_bytes == 128
+
+    def test_engine_throughput_is_the_bottleneck(self):
+        config = gtx480_config("direct")
+        mc = MemoryController(0, config)
+        n = 200
+        last = 0.0
+        for i in range(n):
+            last = mc.submit(read(i * 128, encrypted=True), 0)
+        engine_rate = config.engine_bytes_per_cycle
+        dram_rate = config.channel_bytes_per_cycle
+        assert engine_rate < dram_rate
+        # Sustained rate must track the engine, not DRAM.
+        assert last >= n * 128 / engine_rate
+
+    def test_write_encrypts_before_dram(self):
+        config = gtx480_config("direct")
+        mc = MemoryController(0, config)
+        done = mc.submit(write(encrypted=True), 0)
+        assert done > config.dram_latency_cycles
+
+
+class TestCounterPath:
+    def test_counter_miss_fetches_from_dram(self):
+        config = gtx480_config("counter")
+        mc = MemoryController(0, config)
+        mc.submit(read(encrypted=True), 0)
+        assert mc.stats.counter_fetch_bytes > 0
+
+    def test_counter_hit_avoids_fetch(self):
+        config = gtx480_config("counter")
+        mc = MemoryController(0, config)
+        mc.submit(read(0, encrypted=True), 0)
+        before = mc.stats.counter_fetch_bytes
+        mc.submit(read(0, encrypted=True), 10_000)
+        assert mc.stats.counter_fetch_bytes == before
+        assert mc.counter_cache.stats.hits >= 1
+
+    def test_counter_hit_read_faster_than_direct_read(self):
+        # Pad generation overlaps DRAM on a hit; direct decrypt is serial.
+        direct = MemoryController(0, gtx480_config("direct"))
+        counter = MemoryController(0, gtx480_config("counter"))
+        counter.submit(read(0, encrypted=True), 0)  # warm the counter
+        warm_start = 100_000
+        direct_done = direct.submit(read(0, encrypted=True), warm_start) - warm_start
+        counter_done = counter.submit(read(0, encrypted=True), warm_start) - warm_start
+        assert counter_done < direct_done
+
+    def test_write_bumps_counter(self):
+        config = gtx480_config("counter")
+        mc = MemoryController(0, config)
+        mc.submit(write(0, encrypted=True), 0)
+        assert mc.counter_cache.counter_of(0) == 1
+
+    def test_multi_line_request_counts_lines(self):
+        config = gtx480_config("counter")
+        mc = MemoryController(0, config)
+        mc.submit(read(0, size=512, encrypted=True), 0)
+        assert mc.counter_cache.stats.accesses == 4
+
+    def test_hit_rate_property(self):
+        config = gtx480_config("counter")
+        mc = MemoryController(0, config)
+        for _ in range(4):
+            mc.submit(read(0, encrypted=True), 0)
+        assert mc.counter_hit_rate == pytest.approx(3 / 4)
+
+    def test_hit_rate_nan_without_counter_mode(self):
+        import math
+
+        mc = MemoryController(0, gtx480_config("direct"))
+        assert math.isnan(mc.counter_hit_rate)
+
+
+class TestUtilization:
+    def test_utilization_bounds(self):
+        mc = MemoryController(0, gtx480_config("none"))
+        for i in range(10):
+            mc.submit(read(i * 128, encrypted=False), 0)
+        assert 0.0 < mc.utilization(10_000) <= 1.0
+        assert mc.utilization(0) == 0.0

@@ -1,0 +1,86 @@
+"""Roofline cross-validation: the DES can approach but never beat the
+analytical lower bounds, and agrees with them when saturated."""
+
+import pytest
+
+from repro.core.memory import SecureHeap
+from repro.sim.config import gtx480_config
+from repro.sim.gpu import GpuSimulator
+from repro.sim.roofline import predict_streams
+from repro.sim.workloads import matmul_streams
+
+
+def run_both(scheme_config, m=512, n=512, k=512, encrypted=True):
+    streams = matmul_streams(
+        scheme_config, m, n, k, encrypted=encrypted, heap=SecureHeap()
+    )
+    des = GpuSimulator(scheme_config).run(streams)
+    roofline = predict_streams(streams, scheme_config)
+    return des, roofline
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("mode", ["none", "direct", "counter"])
+    def test_des_never_beats_roofline(self, mode):
+        config = gtx480_config(mode)
+        des, roofline = run_both(config)
+        assert des.cycles >= roofline.cycles * 0.99
+
+    def test_saturated_engine_regime_agrees(self):
+        # Fully encrypted matmul under Direct: the engine bound dominates
+        # and the DES should land within ~35% of it (queueing + latency).
+        config = gtx480_config("direct")
+        des, roofline = run_both(config)
+        assert roofline.bottleneck == "engine"
+        assert des.cycles <= roofline.cycles * 1.35
+
+    def test_compute_bound_regime_agrees(self):
+        # Unencrypted matmul at tile 32 is compute bound; DES within 25%.
+        config = gtx480_config("none")
+        des, roofline = run_both(config, encrypted=False)
+        assert roofline.bottleneck == "compute"
+        assert des.cycles <= roofline.cycles * 1.25
+
+
+class TestOrderingAgreement:
+    def test_normalized_ipc_ordering_matches(self):
+        results = {}
+        for mode in ("none", "direct", "counter"):
+            config = gtx480_config(mode)
+            des, roofline = run_both(config)
+            results[mode] = (des.ipc, roofline.ipc)
+        # Both models agree encryption hurts.
+        assert results["none"][0] > results["direct"][0]
+        assert results["none"][1] > results["direct"][1]
+        # And agree Direct ~ Counter.
+        des_ratio = results["counter"][0] / results["direct"][0]
+        roofline_ratio = results["counter"][1] / results["direct"][1]
+        assert des_ratio == pytest.approx(roofline_ratio, abs=0.25)
+
+
+class TestPredictionFields:
+    def test_bottleneck_labels(self):
+        config = gtx480_config("direct")
+        _, roofline = run_both(config)
+        assert roofline.bottleneck in ("compute", "dram", "engine")
+        assert roofline.cycles == max(
+            roofline.compute_cycles, roofline.dram_cycles, roofline.engine_cycles
+        )
+
+    def test_engine_bound_zero_when_disabled(self):
+        config = gtx480_config("none")
+        _, roofline = run_both(config, encrypted=True)
+        assert roofline.engine_cycles == 0.0
+
+    def test_authentication_adds_dram_bytes(self):
+        import dataclasses
+
+        base = gtx480_config("counter")
+        authed = dataclasses.replace(
+            base,
+            encryption=dataclasses.replace(base.encryption, authenticate=True),
+        )
+        streams = matmul_streams(base, 256, 256, 256, heap=SecureHeap())
+        from repro.sim.roofline import predict_streams as ps
+
+        assert ps(streams, authed).dram_cycles > ps(streams, base).dram_cycles

@@ -1,0 +1,136 @@
+"""Scheme-runner tests: the paper's qualitative ordering must hold."""
+
+import pytest
+
+from repro.core.plan import ModelEncryptionPlan
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+from repro.sim.runner import (
+    SCHEMES,
+    fully_encrypted,
+    plaintext_traffic,
+    run_layer,
+    run_model,
+    scheme_config,
+)
+from repro.sim.workloads import matmul_traffic
+
+
+@pytest.fixture(scope="module")
+def plan():
+    # Full-width VGG-16: the small width-scaled variants are latency-bound
+    # rather than bandwidth-bound, which hides the encryption bottleneck.
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(), 0.5)
+
+
+@pytest.fixture(scope="module")
+def model_results(plan):
+    return {scheme: run_model(plan, scheme) for scheme in SCHEMES}
+
+
+class TestSchemeConfig:
+    def test_all_five_schemes(self):
+        for scheme in SCHEMES:
+            config = scheme_config(scheme)
+            assert config.encryption.label() == scheme
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            scheme_config("XTS")
+
+
+class TestTrafficTransforms:
+    def test_fully_encrypted_moves_all_bytes(self, plan):
+        traffic = plan.layer_traffic()[3]
+        full = fully_encrypted(traffic)
+        assert full.encrypted_fraction == 1.0
+        assert full.total_bytes == traffic.total_bytes
+        assert full.macs == traffic.macs
+
+    def test_plaintext_moves_all_bytes(self, plan):
+        traffic = plan.layer_traffic()[3]
+        plain = plaintext_traffic(traffic)
+        assert plain.encrypted_fraction == 0.0
+        assert plain.total_bytes == traffic.total_bytes
+
+    def test_gemm_dims_preserved(self, plan):
+        traffic = plan.layer_traffic()[0]
+        assert fully_encrypted(traffic).gemm_k == traffic.gemm_k
+        assert plaintext_traffic(traffic).gemm_m == traffic.gemm_m
+
+
+class TestLayerRuns:
+    def test_matmul_encryption_ordering(self):
+        traffic = matmul_traffic(256, 256, 256)
+        baseline = run_layer(traffic, "Baseline")
+        direct = run_layer(traffic, "Direct")
+        assert direct.ipc < baseline.ipc
+
+    def test_layer_result_label(self, plan):
+        traffic = plan.layer_traffic()[0]
+        result = run_layer(traffic, "SEAL-D")
+        assert "SEAL-D" in result.label
+
+
+class TestPaperShapes:
+    """The qualitative results of Figures 7 and 8 (shape, not absolutes)."""
+
+    def test_full_encryption_degrades_ipc(self, model_results):
+        base = model_results["Baseline"].ipc
+        assert model_results["Direct"].ipc < base * 0.8
+        assert model_results["Counter"].ipc < base * 0.8
+
+    def test_seal_beats_full_encryption(self, model_results):
+        assert model_results["SEAL-D"].ipc > model_results["Direct"].ipc
+        assert model_results["SEAL-C"].ipc > model_results["Counter"].ipc
+
+    def test_seal_speedup_in_paper_range(self, model_results):
+        # Paper: SEAL improves IPC 1.34-1.4x over Direct/Counter; allow a
+        # generous band around it for the simulated substrate.
+        speedup_d = model_results["SEAL-D"].ipc / model_results["Direct"].ipc
+        speedup_c = model_results["SEAL-C"].ipc / model_results["Counter"].ipc
+        assert 1.15 <= speedup_d <= 1.8
+        assert 1.15 <= speedup_c <= 1.8
+
+    def test_seal_does_not_beat_baseline(self, model_results):
+        assert model_results["SEAL-D"].ipc <= model_results["Baseline"].ipc * 1.01
+        assert model_results["SEAL-C"].ipc <= model_results["Baseline"].ipc * 1.01
+
+    def test_latency_ordering(self, model_results):
+        base = model_results["Baseline"].cycles
+        assert model_results["Direct"].cycles > base
+        assert model_results["SEAL-D"].cycles < model_results["Direct"].cycles
+        assert model_results["SEAL-C"].cycles < model_results["Counter"].cycles
+
+    def test_counter_close_to_direct(self, model_results):
+        # Paper: counter mode does not outperform direct on GPUs.
+        ratio = model_results["Counter"].cycles / model_results["Direct"].cycles
+        assert 0.85 <= ratio <= 1.15
+
+    def test_latency_seconds(self, model_results):
+        latency = model_results["Baseline"].latency_seconds()
+        assert latency == pytest.approx(
+            model_results["Baseline"].cycles / 0.7e9, rel=1e-9
+        )
+
+    def test_layer_results_cover_all_layers(self, plan, model_results):
+        expected = len(plan.layer_traffic())
+        assert len(model_results["Baseline"].layer_results) == expected
+
+    def test_encrypted_bytes_ordering(self, model_results):
+        assert model_results["Baseline"].encrypted_bytes == 0
+        assert (
+            0
+            < model_results["SEAL-D"].encrypted_bytes
+            < model_results["Direct"].encrypted_bytes
+        )
+
+
+class TestRunModelFromModule:
+    def test_accepts_model_directly(self):
+        set_init_rng(0)
+        model = vgg16(width_scale=0.125)
+        result = run_model(model, "Baseline", ratio=0.5)
+        assert result.cycles > 0
+        assert result.model_name.startswith("VGG")

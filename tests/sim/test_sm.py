@@ -1,0 +1,71 @@
+"""SM-model unit tests: TileStep validation and SmState bookkeeping."""
+
+import pytest
+
+from repro.sim.request import Access, MemRequest
+from repro.sim.sm import SmState, SmStats, TileStep
+
+
+class TestTileStep:
+    def test_instructions_default_to_compute_cycles(self):
+        step = TileStep(compute_cycles=25)
+        assert step.instructions == 25
+
+    def test_explicit_instructions(self):
+        step = TileStep(compute_cycles=10, instructions=99)
+        assert step.instructions == 99
+
+    def test_zero_compute_allowed(self):
+        # Pure-memory steps (e.g. prefetch-only) are legal.
+        step = TileStep(compute_cycles=0)
+        assert step.instructions == 0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            TileStep(compute_cycles=-1)
+
+    def test_is_frozen(self):
+        step = TileStep(compute_cycles=5)
+        with pytest.raises(Exception):
+            step.compute_cycles = 10
+
+
+class TestMemRequest:
+    def test_lines_single(self):
+        req = MemRequest(0, 128, Access.READ, False)
+        assert req.lines(128) == 1
+
+    def test_lines_straddling(self):
+        req = MemRequest(64, 128, Access.READ, False)
+        assert req.lines(128) == 2
+
+    def test_lines_large(self):
+        req = MemRequest(0, 1024, Access.READ, False)
+        assert req.lines(128) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemRequest(0, 0, Access.READ, False)
+        with pytest.raises(ValueError):
+            MemRequest(-1, 128, Access.READ, False)
+
+    def test_is_read(self):
+        assert MemRequest(0, 1, Access.READ, False).is_read
+        assert not MemRequest(0, 1, Access.WRITE, False).is_read
+
+
+class TestSmState:
+    def test_done_on_empty(self):
+        state = SmState(sm_id=0, steps=[])
+        assert state.done
+
+    def test_next_event_time_is_max(self):
+        state = SmState(sm_id=0, steps=[TileStep(1)])
+        state.ready_time = 50.0
+        state.compute_end = 80.0
+        assert state.next_event_time == 80.0
+
+    def test_stats_default(self):
+        stats = SmStats()
+        assert stats.instructions == 0
+        assert stats.steps == 0

@@ -1,0 +1,194 @@
+"""Workload-lowering tests: byte/MAC conservation and criticality tagging."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import SecureHeap
+from repro.core.plan import ModelEncryptionPlan
+from repro.nn.layers import set_init_rng
+from repro.nn.models import vgg16
+from repro.sim.config import gtx480_config
+from repro.sim.request import Access
+from repro.sim.workloads import (
+    gemm_layer_streams,
+    layer_streams,
+    matmul_streams,
+    matmul_traffic,
+    pool_layer_streams,
+)
+
+CONFIG = gtx480_config("none")
+
+
+def stream_bytes(streams, access):
+    total = 0
+    for stream in streams:
+        for step in stream:
+            requests = step.reads if access is Access.READ else step.writes
+            total += sum(r.size for r in requests)
+    return total
+
+
+def stream_macs(streams):
+    return sum(
+        step.compute_cycles * CONFIG.macs_per_sm_per_cycle
+        for stream in streams
+        for step in stream
+    )
+
+
+@pytest.fixture(scope="module")
+def plan():
+    set_init_rng(0)
+    return ModelEncryptionPlan.build(vgg16(width_scale=0.25), 0.5)
+
+
+class TestMatmul:
+    def test_read_bytes_match_tiling_model(self):
+        m = n = k = 256
+        tile = 32
+        streams = matmul_streams(CONFIG, m, n, k, tile=tile, heap=SecureHeap())
+        expected = 2 * (m // tile) * (n // tile) * (k) * tile * 4
+        assert stream_bytes(streams, Access.READ) == expected
+
+    def test_write_bytes_equal_c_matrix(self):
+        m = n = k = 128
+        streams = matmul_streams(CONFIG, m, n, k, heap=SecureHeap())
+        assert stream_bytes(streams, Access.WRITE) == m * n * 4
+
+    def test_compute_cycles_cover_all_macs(self):
+        m = n = k = 128
+        streams = matmul_streams(CONFIG, m, n, k, heap=SecureHeap())
+        assert stream_macs(streams) >= m * n * k
+
+    def test_encrypted_flag_propagates(self):
+        streams = matmul_streams(CONFIG, 64, 64, 64, encrypted=True, heap=SecureHeap())
+        requests = [r for s in streams for st in s for r in st.reads]
+        assert requests and all(r.encrypted for r in requests)
+
+    def test_plaintext_matmul(self):
+        streams = matmul_streams(CONFIG, 64, 64, 64, encrypted=False, heap=SecureHeap())
+        requests = [r for s in streams for st in s for r in st.reads]
+        assert requests and not any(r.encrypted for r in requests)
+
+    def test_work_distributed_across_sms(self):
+        streams = matmul_streams(CONFIG, 512, 512, 64, heap=SecureHeap())
+        active = sum(1 for s in streams if s)
+        assert active == CONFIG.num_sms
+
+    def test_non_tile_multiple_dimensions(self):
+        # 100 is not a multiple of 32: edge tiles must still conserve bytes.
+        streams = matmul_streams(CONFIG, 100, 100, 100, heap=SecureHeap())
+        assert stream_bytes(streams, Access.WRITE) == 100 * 100 * 4
+
+    def test_traffic_record(self):
+        traffic = matmul_traffic(64, 32, 16)
+        assert traffic.macs == 64 * 32 * 16
+        assert traffic.total_bytes == (64 * 16 + 16 * 32 + 64 * 32) * 4
+        assert traffic.encrypted_fraction == 1.0
+
+
+class TestGemmLayers:
+    def test_conv_layer_split_fractions(self, plan):
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "conv")
+        streams = gemm_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        requests = [r for s in streams for st in s for r in st.reads]
+        assert requests
+        enc = sum(r.size for r in requests if r.encrypted)
+        total = sum(r.size for r in requests)
+        expected = (
+            traffic.input_bytes_encrypted + traffic.weight_bytes_encrypted
+        ) / (
+            traffic.input_bytes_encrypted
+            + traffic.input_bytes_plain
+            + traffic.weight_bytes_encrypted
+            + traffic.weight_bytes_plain
+        )
+        assert enc / total == pytest.approx(expected, abs=0.05)
+
+    def test_selective_layer_has_both_criticalities(self, plan):
+        selective = plan.selective_layers[0]
+        traffic = next(t for t in plan.layer_traffic() if t.name == selective.name)
+        streams = gemm_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        requests = [r for s in streams for st in s for r in st.reads]
+        assert any(r.encrypted for r in requests)
+        assert any(not r.encrypted for r in requests)
+
+    def test_rejects_pool_traffic(self, plan):
+        pool = next(t for t in plan.layer_traffic() if t.kind == "pool")
+        with pytest.raises(ValueError):
+            gemm_layer_streams(CONFIG, pool, heap=SecureHeap())
+
+    def test_step_budget_respected_for_huge_layers(self):
+        traffic = matmul_traffic(4096, 4096, 4096)
+        streams = matmul_streams(CONFIG, 4096, 4096, 4096, heap=SecureHeap())
+        from repro.sim.workloads import MAX_STEPS_PER_SM
+
+        assert max(len(s) for s in streams) <= MAX_STEPS_PER_SM * 2
+        # Bytes are conserved despite k-step merging.
+        assert stream_bytes(streams, Access.WRITE) == traffic.gemm_m * traffic.gemm_n * 4
+
+
+class TestPoolLayers:
+    def test_read_bytes_equal_input(self, plan):
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "pool")
+        streams = pool_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        in_total = traffic.input_bytes_encrypted + traffic.input_bytes_plain
+        assert stream_bytes(streams, Access.READ) == in_total
+
+    def test_write_bytes_close_to_output(self, plan):
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "pool")
+        streams = pool_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        out_total = traffic.output_bytes_encrypted + traffic.output_bytes_plain
+        written = stream_bytes(streams, Access.WRITE)
+        assert written == pytest.approx(out_total, rel=0.02)
+
+    def test_pool_is_memory_dominated(self, plan):
+        """The structural fact behind Figure 6: POOL moves ~1 byte per op."""
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "pool")
+        streams = pool_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        macs = stream_macs(streams)
+        in_total = traffic.input_bytes_encrypted + traffic.input_bytes_plain
+        assert macs / in_total < 16  # orders below GEMM intensity
+
+    def test_rejects_gemm_traffic(self, plan):
+        conv = next(t for t in plan.layer_traffic() if t.kind == "conv")
+        with pytest.raises(ValueError):
+            pool_layer_streams(CONFIG, conv, heap=SecureHeap())
+
+    def test_dispatch(self, plan):
+        for traffic in plan.layer_traffic():
+            streams = layer_streams(CONFIG, traffic, heap=SecureHeap())
+            assert len(streams) == CONFIG.num_sms
+
+
+class TestAddressing:
+    def test_requests_carry_heap_addresses(self, plan):
+        heap = SecureHeap()
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "conv")
+        streams = gemm_layer_streams(CONFIG, traffic, heap=heap)
+        allocations = list(heap)
+        assert allocations
+        low = min(a.address for a in allocations)
+        high = max(a.end for a in allocations)
+        for stream in streams:
+            for step in stream:
+                for request in (*step.reads, *step.writes):
+                    assert low <= request.address < high
+
+    def test_criticality_matches_heap_region(self, plan):
+        heap = SecureHeap()
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "conv")
+        streams = gemm_layer_streams(CONFIG, traffic, heap=heap)
+        for stream in streams:
+            for step in stream:
+                for request in (*step.reads, *step.writes):
+                    assert heap.is_encrypted(request.address) == request.encrypted
+
+    def test_line_alignment(self, plan):
+        traffic = next(t for t in plan.layer_traffic() if t.kind == "conv")
+        streams = gemm_layer_streams(CONFIG, traffic, heap=SecureHeap())
+        for stream in streams:
+            for step in stream:
+                for request in step.reads:
+                    assert request.address % CONFIG.line_bytes == 0

@@ -1,0 +1,15 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.crypto.aes
+
+
+@pytest.mark.parametrize("module", [repro, repro.crypto.aes])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
