@@ -21,14 +21,26 @@ def shape(request):
     return (768, 768, 768)
 
 
-def test_fig1_ipc_and_counter_cache(benchmark, record_report, shape):
+def test_fig1_ipc_and_counter_cache(benchmark, record_report, record_metrics, jobs, shape):
     result = benchmark.pedantic(
         fig1_straightforward,
-        kwargs={"matmul_shape": shape, "cache_sizes_kb": (24, 96, 384, 1536)},
+        kwargs={
+            "matmul_shape": shape,
+            "cache_sizes_kb": (24, 96, 384, 1536),
+            "jobs": jobs,
+        },
         iterations=1,
         rounds=1,
     )
     record_report("fig1_straightforward", result.report())
+    record_metrics(
+        "fig1_straightforward",
+        payload={
+            "matmul_shape": list(result.matmul_shape),
+            "ipc": result.ipc,
+            "hit_rates": {str(kb): rate for kb, rate in result.hit_rates.items()},
+        },
+    )
 
     baseline = result.ipc["Baseline"]
     direct = result.ipc["Direct"]

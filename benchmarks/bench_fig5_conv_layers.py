@@ -9,9 +9,12 @@ over Direct/Counter).
 from repro.eval.experiments import fig5_conv_layers
 
 
-def test_fig5_conv_layers(benchmark, record_report):
+def test_fig5_conv_layers(benchmark, record_report, record_metrics, jobs):
     result = benchmark.pedantic(
-        fig5_conv_layers, kwargs={"ratio": 0.5}, iterations=1, rounds=1
+        fig5_conv_layers,
+        kwargs={"ratio": 0.5, "jobs": jobs},
+        iterations=1,
+        rounds=1,
     )
     summary = (
         f"\nmean SEAL-D / Direct  = {result.improvement_over('SEAL-D', 'Direct'):.2f}x"
@@ -20,6 +23,13 @@ def test_fig5_conv_layers(benchmark, record_report):
         f"  (paper: 1.33x)"
     )
     record_report("fig5_conv_layers", result.report() + summary)
+    record_metrics(
+        "fig5_conv_layers",
+        payload={
+            "layers": result.layer_labels,
+            "normalized_ipc": result.normalized_ipc,
+        },
+    )
 
     for value in result.normalized_ipc["Direct"]:
         assert value < 1.0  # full encryption always costs IPC

@@ -8,9 +8,12 @@ most (paper: SEAL-D +66%, SEAL-C +44% over Direct/Counter).
 from repro.eval.experiments import fig5_conv_layers, fig6_pool_layers
 
 
-def test_fig6_pool_layers(benchmark, record_report):
+def test_fig6_pool_layers(benchmark, record_report, record_metrics, jobs):
     result = benchmark.pedantic(
-        fig6_pool_layers, kwargs={"ratio": 0.5}, iterations=1, rounds=1
+        fig6_pool_layers,
+        kwargs={"ratio": 0.5, "jobs": jobs},
+        iterations=1,
+        rounds=1,
     )
     summary = (
         f"\nmean SEAL-D / Direct  = {result.improvement_over('SEAL-D', 'Direct'):.2f}x"
@@ -19,6 +22,13 @@ def test_fig6_pool_layers(benchmark, record_report):
         f"  (paper: 1.44x)"
     )
     record_report("fig6_pool_layers", result.report() + summary)
+    record_metrics(
+        "fig6_pool_layers",
+        payload={
+            "layers": result.layer_labels,
+            "normalized_ipc": result.normalized_ipc,
+        },
+    )
 
     # Full encryption bites pools hard (paper: up to -50%).
     assert min(result.normalized_ipc["Direct"]) < 0.65

@@ -8,10 +8,14 @@ than VGG (smaller bandwidth demand); SEAL-D/SEAL-C improve IPC by ~1.4x /
 from repro.eval.experiments import fig7_overall_ipc
 
 
-def test_fig7_overall_ipc(benchmark, record_report):
+def test_fig7_overall_ipc(benchmark, record_report, record_metrics, jobs):
     result = benchmark.pedantic(
         fig7_overall_ipc,
-        kwargs={"models": ("vgg16", "resnet18", "resnet34"), "ratio": 0.5},
+        kwargs={
+            "models": ("vgg16", "resnet18", "resnet34"),
+            "ratio": 0.5,
+            "jobs": jobs,
+        },
         iterations=1,
         rounds=1,
     )
@@ -20,6 +24,15 @@ def test_fig7_overall_ipc(benchmark, record_report):
         f"\nmean SEAL-C / Counter = {result.seal_speedup('C'):.2f}x (paper: 1.34x)"
     )
     record_report("fig7_overall_ipc", result.report() + summary)
+    record_metrics(
+        "fig7_overall_ipc",
+        payload={
+            "models": result.models,
+            "normalized_ipc": result.normalized_ipc,
+            "seal_speedup_d": result.seal_speedup("D"),
+            "seal_speedup_c": result.seal_speedup("C"),
+        },
+    )
 
     vgg, rn18, rn34 = 0, 1, 2
     # Full encryption costs substantial IPC on every model.

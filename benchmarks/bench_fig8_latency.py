@@ -7,10 +7,14 @@ and SEAL-C cut latency by ~28%/~26% relative to Direct/Counter.
 from repro.eval.experiments import fig8_latency
 
 
-def test_fig8_inference_latency(benchmark, record_report):
+def test_fig8_inference_latency(benchmark, record_report, record_metrics, jobs):
     result = benchmark.pedantic(
         fig8_latency,
-        kwargs={"models": ("vgg16", "resnet18", "resnet34"), "ratio": 0.5},
+        kwargs={
+            "models": ("vgg16", "resnet18", "resnet34"),
+            "ratio": 0.5,
+            "jobs": jobs,
+        },
         iterations=1,
         rounds=1,
     )
@@ -21,6 +25,15 @@ def test_fig8_inference_latency(benchmark, record_report):
         f"{result.latency_reduction('C'):.1%} (paper: 26%)"
     )
     record_report("fig8_latency", result.report(metric="latency") + summary)
+    record_metrics(
+        "fig8_latency",
+        payload={
+            "models": result.models,
+            "normalized_latency": result.normalized_latency,
+            "latency_reduction_d": result.latency_reduction("D"),
+            "latency_reduction_c": result.latency_reduction("C"),
+        },
+    )
 
     for index in range(3):
         # Full encryption lengthens inference.

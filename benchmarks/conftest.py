@@ -3,6 +3,14 @@
 Every benchmark regenerates one table or figure of the paper and writes the
 rendered rows/series to ``benchmarks/out/<name>.txt`` (also echoed to the
 terminal) so the recorded artefacts can be compared against the paper.
+Figure benchmarks additionally emit a machine-readable
+``benchmarks/out/BENCH_<name>.json`` trajectory (the ``repro.metrics/v1``
+snapshot plus per-benchmark payload) via the ``record_metrics`` fixture.
+
+Options::
+
+    --jobs N           worker processes for layer simulations (0 = CPU count)
+    --metrics-out DIR  directory for BENCH_*.json files (default benchmarks/out)
 
 Scaling: set ``SEAL_BENCH_SCALE=full`` for the paper-scale security sweep
 (slower); the default ``quick`` settings preserve every qualitative shape.
@@ -10,6 +18,7 @@ Scaling: set ``SEAL_BENCH_SCALE=full`` for the paper-scale security sweep
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -18,9 +27,29 @@ import pytest
 OUT_DIR = Path(__file__).parent / "out"
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("seal-bench")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for layer simulations (0 = CPU count)",
+    )
+    group.addoption(
+        "--metrics-out",
+        default=None,
+        help="directory for BENCH_*.json metric files (default benchmarks/out)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return os.environ.get("SEAL_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    return request.config.getoption("--jobs")
 
 
 @pytest.fixture()
@@ -32,6 +61,33 @@ def record_report(request):
         path = OUT_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return write
+
+
+@pytest.fixture()
+def record_metrics(request):
+    """Persist the run's metrics snapshot as ``BENCH_<name>.json``.
+
+    The callable merges the process-wide registry snapshot (counters,
+    timers, cache hit rate) with an optional per-benchmark ``payload`` of
+    JSON-serialisable result data, and returns the written path.
+    """
+    from repro.obs.metrics import get_metrics
+
+    out_option = request.config.getoption("--metrics-out")
+    out_dir = Path(out_option) if out_option else OUT_DIR
+
+    def write(name: str, payload: dict | None = None) -> Path:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        document = get_metrics().snapshot()
+        document["benchmark"] = name
+        if payload:
+            document["payload"] = payload
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"[metrics saved to {path}]")
+        return path
 
     return write
 

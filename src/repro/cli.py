@@ -7,6 +7,11 @@ Commands
 ``snoop``      summarize what a bus adversary learns at a given ratio
 ``table1``     print the AES engine survey
 ``figure``     regenerate one of the paper's performance figures (1/5/6/7/8)
+
+``simulate`` and ``figure`` accept ``--jobs N`` to fan independent layer
+simulations over a process pool and ``--metrics-out PATH`` to write the
+run's counters/timers/cache statistics as JSON (schema
+``repro.metrics/v1``; see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -20,7 +25,8 @@ from .core.seal import SealScheme
 from .core.serialize import save_plan
 from .eval.reporting import ascii_table
 from .nn.models import MODEL_BUILDERS, build_model
-from .sim.runner import SCHEMES, run_model
+from .obs.metrics import get_metrics
+from .sim.runner import SCHEMES, compare_schemes
 
 __all__ = ["main"]
 
@@ -46,14 +52,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    schemes = tuple(args.schemes.split(",")) if args.schemes else SCHEMES
+    unknown = [scheme for scheme in schemes if scheme not in SCHEMES]
+    if unknown:
+        print(
+            f"unknown scheme(s) {', '.join(unknown)}; "
+            f"choose from {','.join(SCHEMES)}",
+            file=sys.stderr,
+        )
+        return 2
     _, plan = _build(args)
-    schemes = args.schemes.split(",") if args.schemes else list(SCHEMES)
+    results = compare_schemes(plan, schemes, jobs=args.jobs)
+    baseline = results[schemes[0]]
     rows = []
-    baseline = None
     for scheme in schemes:
-        result = run_model(plan, scheme)
-        if baseline is None:
-            baseline = result
+        result = results[scheme]
         rows.append(
             (
                 scheme,
@@ -105,12 +118,13 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .eval import experiments
 
+    jobs = args.jobs
     dispatch = {
-        "1": lambda: experiments.fig1_straightforward().report(),
-        "5": lambda: experiments.fig5_conv_layers().report(),
-        "6": lambda: experiments.fig6_pool_layers().report(),
-        "7": lambda: experiments.fig7_overall_ipc().report(),
-        "8": lambda: experiments.fig8_latency().report(metric="latency"),
+        "1": lambda: experiments.fig1_straightforward(jobs=jobs).report(),
+        "5": lambda: experiments.fig5_conv_layers(jobs=jobs).report(),
+        "6": lambda: experiments.fig6_pool_layers(jobs=jobs).report(),
+        "7": lambda: experiments.fig7_overall_ipc(jobs=jobs).report(),
+        "8": lambda: experiments.fig8_latency(jobs=jobs).report(metric="latency"),
     }
     if args.number not in dispatch:
         print(
@@ -146,8 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--output", help="write the plan as JSON")
     p_plan.set_defaults(func=_cmd_plan)
 
+    def jobs_count(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be a positive integer or 0")
+        return value
+
+    def add_runner_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=jobs_count, default=1, metavar="N",
+            help="worker processes for layer simulations (0 = CPU count)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="PATH",
+            help="write run metrics (counters/timers/cache stats) as JSON",
+        )
+
     p_sim = sub.add_parser("simulate", help="simulate schemes on the GTX480 model")
     add_model_args(p_sim)
+    add_runner_args(p_sim)
     p_sim.add_argument(
         "--schemes", help=f"comma-separated subset of {','.join(SCHEMES)}"
     )
@@ -162,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate a performance figure")
     p_fig.add_argument("number", choices=["1", "5", "6", "7", "8"])
+    add_runner_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     return parser
@@ -170,7 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = get_metrics().emit(metrics_out)
+        print(f"metrics written to {path}")
+    return code
 
 
 if __name__ == "__main__":

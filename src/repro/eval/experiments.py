@@ -20,14 +20,19 @@ from ..attacks.security import (
     run_security_experiment,
 )
 from ..attacks.substitute import SubstituteConfig
-from ..core.memory import SecureHeap
 from ..core.plan import ModelEncryptionPlan
 from ..crypto.engine import ENGINE_SURVEY
 from ..nn.models import build_model
-from ..sim.config import GpuConfig
-from ..sim.gpu import GpuSimulator, SimResult
-from ..sim.runner import SCHEMES, ModelRunResult, run_layer, run_model, scheme_config
-from ..sim.workloads import matmul_streams
+from ..obs.metrics import get_metrics
+from ..sim.parallel import SimUnit, SimulationCache, run_units
+from ..sim.runner import (
+    SCHEMES,
+    ModelRunResult,
+    compare_schemes,
+    layer_unit,
+    scheme_config,
+)
+from ..sim.workloads import matmul_traffic
 from .reporting import ascii_table, format_series
 
 __all__ = [
@@ -106,29 +111,36 @@ def fig1_straightforward(
     *,
     matmul_shape: tuple[int, int, int] = (1024, 1024, 1024),
     cache_sizes_kb: tuple[int, ...] = (24, 96, 384, 1536),
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> Fig1Result:
     """Figure 1: straightforward Direct/Counter encryption on matmul.
 
     Runs Baseline, Direct, and Counter with each counter-cache size; the
-    counter runs also produce the Figure 1b hit-rate curve.
+    counter runs also produce the Figure 1b hit-rate curve.  All runs are
+    independent simulation units, fanned out over ``jobs`` workers.
     """
     m, n, k = matmul_shape
-
-    def run(config: GpuConfig, label: str) -> SimResult:
-        simulator = GpuSimulator(config)
-        streams = matmul_streams(config, m, n, k, encrypted=True, heap=SecureHeap())
-        return simulator.run(streams, label=label)
-
-    ipc: dict[str, float] = {}
-    hit_rates: dict[int, float] = {}
-    ipc["Baseline"] = run(scheme_config("Baseline"), "Baseline").ipc
-    ipc["Direct"] = run(scheme_config("Direct"), "Direct").ipc
-    for kb in cache_sizes_kb:
-        result = run(
-            scheme_config("Counter", counter_cache_kb=kb), f"Ctr-{kb}"
+    traffic = matmul_traffic(m, n, k, encrypted=True)
+    labels = ["Baseline", "Direct"] + [f"Ctr-{kb}" for kb in cache_sizes_kb]
+    units = [
+        SimUnit(traffic=traffic, config=scheme_config("Baseline"), label="Baseline"),
+        SimUnit(traffic=traffic, config=scheme_config("Direct"), label="Direct"),
+    ] + [
+        SimUnit(
+            traffic=traffic,
+            config=scheme_config("Counter", counter_cache_kb=kb),
+            label=f"Ctr-{kb}",
         )
-        ipc[f"Ctr-{kb}"] = result.ipc
-        hit_rates[kb] = result.counter_hit_rate
+        for kb in cache_sizes_kb
+    ]
+    with get_metrics().timer("eval.fig1"):
+        results = run_units(units, jobs=jobs, cache=cache)
+    ipc = {label: result.ipc for label, result in zip(labels, results)}
+    hit_rates = {
+        kb: result.counter_hit_rate
+        for kb, result in zip(cache_sizes_kb, results[2:])
+    }
     return Fig1Result(matmul_shape, ipc, hit_rates)
 
 
@@ -257,16 +269,23 @@ def _layer_sweep(
     layer_names: list[str],
     labels: list[str],
     schemes: tuple[str, ...] = SCHEMES,
+    *,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> LayerSweepResult:
     traffic_by_name = {t.name: t for t in plan.layer_traffic()}
+    units = [
+        layer_unit(traffic_by_name[name], scheme)
+        for name in layer_names
+        for scheme in schemes
+    ]
+    with get_metrics().timer("eval.layer_sweep"):
+        results = run_units(units, jobs=jobs, cache=cache)
     normalized: dict[str, list[float]] = {scheme: [] for scheme in schemes}
-    for name in layer_names:
-        traffic = traffic_by_name[name]
-        baseline_ipc = None
-        for scheme in schemes:
-            result = run_layer(traffic, scheme)
-            if baseline_ipc is None:
-                baseline_ipc = result.ipc or 1.0
+    for index in range(len(layer_names)):
+        per_layer = results[index * len(schemes) : (index + 1) * len(schemes)]
+        baseline_ipc = per_layer[0].ipc or 1.0
+        for scheme, result in zip(schemes, per_layer):
             normalized[scheme].append(result.ipc / baseline_ipc)
     return LayerSweepResult(title, labels, normalized)
 
@@ -294,7 +313,11 @@ def _vgg_plan(
 
 
 def fig5_conv_layers(
-    *, ratio: float = 0.5, input_size: int = 32
+    *,
+    ratio: float = 0.5,
+    input_size: int = 32,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> LayerSweepResult:
     """Figure 5: four typical VGG CONV layers (64/128/256/512 channels)."""
     plan = _vgg_plan(ratio, input_size, boundary=False)
@@ -318,11 +341,17 @@ def fig5_conv_layers(
         plan,
         names,
         labels,
+        jobs=jobs,
+        cache=cache,
     )
 
 
 def fig6_pool_layers(
-    *, ratio: float = 0.5, input_size: int = 32
+    *,
+    ratio: float = 0.5,
+    input_size: int = 32,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> LayerSweepResult:
     """Figure 6: the five VGG POOL layers."""
     plan = _vgg_plan(ratio, input_size, boundary=False)
@@ -333,6 +362,8 @@ def fig6_pool_layers(
         plan,
         names,
         labels,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -387,11 +418,14 @@ def _model_sweep(
     ratio: float,
     input_size: int,
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> ModelSweepResult:
     sweep = ModelSweepResult(title=title, models=list(models))
     for scheme in schemes:
         sweep.normalized_ipc[scheme] = []
         sweep.normalized_latency[scheme] = []
+    metrics = get_metrics()
     for model_name in models:
         model = (
             build_model(model_name, input_size=input_size)
@@ -401,11 +435,11 @@ def _model_sweep(
         plan = ModelEncryptionPlan.build(
             model, ratio, input_shape=(3, input_size, input_size)
         )
-        per_scheme: dict[str, ModelRunResult] = {}
+        with metrics.timer("eval.model_sweep"):
+            per_scheme = compare_schemes(plan, schemes, jobs=jobs, cache=cache)
         baseline: ModelRunResult | None = None
         for scheme in schemes:
-            result = run_model(plan, scheme)
-            per_scheme[scheme] = result
+            result = per_scheme[scheme]
             if baseline is None:
                 baseline = result
             sweep.normalized_ipc[scheme].append(
@@ -423,6 +457,8 @@ def fig7_overall_ipc(
     *,
     ratio: float = 0.5,
     input_size: int = 32,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> ModelSweepResult:
     """Figure 7: overall IPC for full-model inference, all schemes."""
     return _model_sweep(
@@ -430,6 +466,8 @@ def fig7_overall_ipc(
         models,
         ratio=ratio,
         input_size=input_size,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -438,6 +476,8 @@ def fig8_latency(
     *,
     ratio: float = 0.5,
     input_size: int = 32,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> ModelSweepResult:
     """Figure 8: inference latency normalized to Baseline, all schemes."""
     sweep = _model_sweep(
@@ -445,5 +485,7 @@ def fig8_latency(
         models,
         ratio=ratio,
         input_size=input_size,
+        jobs=jobs,
+        cache=cache,
     )
     return sweep

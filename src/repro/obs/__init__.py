@@ -1,0 +1,19 @@
+"""Lightweight observability: counters, timers, and JSON metric emission."""
+
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    TimerStat,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "TimerStat",
+    "get_metrics",
+    "reset_metrics",
+    "set_metrics",
+]

@@ -1,0 +1,202 @@
+"""Counters, wall-clock timers, and cache statistics with JSON emission.
+
+The experiment harness (:mod:`repro.sim.parallel`, :func:`repro.sim.runner
+.run_model`, ``repro.eval.experiments``) records what it does into a
+process-wide :class:`MetricsRegistry`.  A registry serialises to a stable
+JSON document (``schema`` = :data:`METRICS_SCHEMA`) so benchmark scripts and
+the CLI can persist machine-readable run trajectories::
+
+    {
+      "schema": "repro.metrics/v1",
+      "counters": {"sim.kernel_runs": 110, "sim.cache.hits": 35, ...},
+      "timers": {"sim.kernel": {"count": 75, "total_seconds": 1.9, ...}},
+      "derived": {"cache_hit_rate": 0.318, ...}
+    }
+
+Counter names are dotted paths (``component.event``).  The registry is
+deliberately tiny — a dict of ints and a dict of timer aggregates behind a
+lock — so hooking it into the simulator's hot path costs microseconds.
+Worker processes build their own registries and the parent merges their
+snapshots (see :meth:`MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TimerStat",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+]
+
+#: Version tag written into every emitted metrics document.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of one named timer: count / total / min / max seconds."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+    def merge(self, other: dict[str, float]) -> None:
+        """Fold a serialised :meth:`to_dict` aggregate into this one."""
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total_seconds += float(other.get("total_seconds", 0.0))
+        self.min_seconds = min(self.min_seconds, float(other.get("min_seconds", math.inf)))
+        self.max_seconds = max(self.max_seconds, float(other.get("max_seconds", 0.0)))
+
+
+@dataclass
+class MetricsRegistry:
+    """Thread-safe bag of named counters and wall-clock timers."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- recording ------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one ``seconds``-long observation under timer ``name``."""
+        with self._lock:
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.observe(seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- reading / serialising ------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses) over the ``sim.cache.*`` counters."""
+        with self._lock:
+            hits = self.counters.get("sim.cache.hits", 0)
+            misses = self.counters.get("sim.cache.misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view of everything recorded so far."""
+        with self._lock:
+            counters = dict(sorted(self.counters.items()))
+            timers = {
+                name: stat.to_dict() for name, stat in sorted(self.timers.items())
+            }
+        derived: dict[str, float] = {"cache_hit_rate": self.cache_hit_rate()}
+        kernel = timers.get("sim.kernel")
+        if kernel:
+            derived["mean_kernel_seconds"] = kernel["mean_seconds"]
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "timers": timers,
+            "derived": derived,
+        }
+
+    def merge(self, snapshot: dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this registry.
+
+        Used to aggregate worker-process metrics into the parent after a
+        parallel fan-out.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():  # type: ignore[union-attr]
+            self.count(name, int(value))
+        with self._lock:
+            for name, agg in (snapshot.get("timers") or {}).items():  # type: ignore[union-attr]
+                stat = self.timers.get(name)
+                if stat is None:
+                    stat = self.timers[name] = TimerStat()
+                stat.merge(agg)
+
+    def emit(self, path: str | Path) -> Path:
+        """Write the snapshot as JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default registry
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry all instrumentation hooks record into."""
+    return _GLOBAL
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Worker processes install a fresh registry so their instrumentation can
+    be snapshotted and merged back into the parent without double counting.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Clear the process-wide registry (tests, CLI runs) and return it."""
+    _GLOBAL.reset()
+    return _GLOBAL

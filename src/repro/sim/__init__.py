@@ -9,12 +9,22 @@ from .config import (
 )
 from .gpu import GpuSimulator, SimResult
 from .memctrl import MemoryController, MemoryControllerStats
+from .parallel import (
+    SimUnit,
+    SimulationCache,
+    cache_key,
+    clear_default_cache,
+    default_cache,
+    run_units,
+    simulate_unit,
+)
 from .request import Access, MemRequest
 from .runner import (
     SCHEMES,
     ModelRunResult,
     compare_schemes,
     fully_encrypted,
+    layer_unit,
     plaintext_traffic,
     run_layer,
     run_model,
@@ -44,10 +54,18 @@ __all__ = [
     "MemoryControllerStats",
     "Access",
     "MemRequest",
+    "SimUnit",
+    "SimulationCache",
+    "cache_key",
+    "clear_default_cache",
+    "default_cache",
+    "run_units",
+    "simulate_unit",
     "SCHEMES",
     "ModelRunResult",
     "compare_schemes",
     "fully_encrypted",
+    "layer_unit",
     "plaintext_traffic",
     "run_layer",
     "run_model",

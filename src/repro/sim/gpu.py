@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
 from .config import EncryptionMode, GpuConfig
 from .memctrl import MemoryController
 from .request import MemRequest
@@ -99,6 +100,14 @@ class GpuSimulator:
         ``streams`` shorter than ``num_sms`` leave the remaining SMs idle
         (small kernels do not fill the machine, exactly as on hardware).
         """
+        metrics = get_metrics()
+        metrics.count("sim.kernel_runs")
+        with metrics.timer("sim.kernel"):
+            result = self._run(streams, label)
+        metrics.count("sim.data_bytes", result.data_bytes)
+        return result
+
+    def _run(self, streams: list[list[TileStep]], label: str = "") -> SimResult:
         if len(streams) > self.config.num_sms:
             raise ValueError(
                 f"{len(streams)} streams for {self.config.num_sms} SMs"

@@ -1,0 +1,296 @@
+"""Process-pool experiment runner with a content-addressed simulation cache.
+
+Every figure of the paper's evaluation is a fan-out of *independent* layer
+simulations: a :class:`SimUnit` is one ``(tagged LayerTraffic, GpuConfig,
+tile)`` triple, and :func:`run_units` executes a batch of them either
+inline or across a process pool, merging results deterministically in
+submission order regardless of completion order or worker count.
+
+Because a layer simulation is a pure function of its unit — the lowering
+allocates a fresh :class:`~repro.core.memory.SecureHeap` every time and the
+discrete-event simulation has no other state — identical units produce
+bit-identical :class:`~repro.sim.gpu.SimResult` values.  That makes the
+work content-addressable: :func:`cache_key` hashes the config, the traffic
+record (minus its display name) and the tile size, and the
+:class:`SimulationCache` returns the stored result for any repeat.  Two
+kinds of repeats dominate in practice:
+
+* repeated layers inside one model (ResNet's identical residual blocks),
+* repeated baselines across a sweep (every encryption-ratio point shares
+  the same Baseline/Direct/Counter traffic, since those schemes erase the
+  plan's criticality split).
+
+The display ``label`` is *not* part of the key; cached results are
+re-labelled on the way out, so the output of a cached/parallel run is
+field-for-field identical to a cold serial run (the golden suite in
+``tests/sim/test_golden_ipc.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..core.memory import SecureHeap
+from ..core.plan import LayerTraffic
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from .config import GpuConfig
+from .gpu import GpuSimulator, SimResult
+from .workloads import DEFAULT_TILE, layer_streams
+
+__all__ = [
+    "SimUnit",
+    "SimulationCache",
+    "cache_key",
+    "default_cache",
+    "clear_default_cache",
+    "resolve_jobs",
+    "simulate_unit",
+    "run_units",
+]
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def _encode(value: object) -> object:
+    """Canonical JSON-able encoding of configs/traffic for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    return value
+
+
+def cache_key(config: GpuConfig, traffic: LayerTraffic, tile: int = DEFAULT_TILE) -> str:
+    """Content hash of one simulation unit.
+
+    The key covers every input the simulation depends on — the full
+    :class:`GpuConfig` (including encryption mode, engine spec and counter
+    cache geometry), every byte/MAC/GEMM field of the traffic record, and
+    the tile size.  ``traffic.name`` is excluded: it only feeds display
+    labels and heap-region names, neither of which affects the simulated
+    numbers, and excluding it is what lets repeated same-shape layers share
+    one simulation.
+    """
+    traffic_fields = _encode(traffic)
+    assert isinstance(traffic_fields, dict)
+    traffic_fields.pop("name", None)
+    payload = {
+        "config": _encode(config),
+        "traffic": traffic_fields,
+        "tile": tile,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SimulationCache:
+    """Bounded, thread-safe, content-addressed store of :class:`SimResult`.
+
+    Keys come from :func:`cache_key`; eviction is FIFO on insertion order,
+    which is good enough for the sweep workloads this serves (the working
+    set of distinct layer shapes is small).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, SimResult] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> SimResult | None:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        with self._lock:
+            self._entries[key] = result
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+#: Process-global cache shared by default across ``run_units`` calls so
+#: sweep re-runs (same model, different ratio/scheme) reuse prior work.
+_DEFAULT_CACHE = SimulationCache()
+
+
+def default_cache() -> SimulationCache:
+    return _DEFAULT_CACHE
+
+
+def clear_default_cache() -> None:
+    _DEFAULT_CACHE.clear()
+
+
+def _resolve_cache(cache: SimulationCache | None | bool) -> SimulationCache | None:
+    """``None`` → process-global cache; ``False`` → caching disabled."""
+    if cache is None:
+        return _DEFAULT_CACHE
+    if cache is False:
+        return None
+    if isinstance(cache, SimulationCache):
+        return cache
+    raise TypeError(f"cache must be a SimulationCache, None, or False, got {cache!r}")
+
+
+# ----------------------------------------------------------------------
+# Units and execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimUnit:
+    """One independent simulation: a tagged traffic record on one config.
+
+    ``traffic`` must already be scheme-tagged (see
+    :func:`repro.sim.runner.traffic_for_scheme`); ``label`` is carried onto
+    the resulting :class:`SimResult` and takes no part in caching.
+    """
+
+    traffic: LayerTraffic
+    config: GpuConfig
+    tile: int = DEFAULT_TILE
+    label: str = ""
+
+    def key(self) -> str:
+        return cache_key(self.config, self.traffic, self.tile)
+
+
+def simulate_unit(unit: SimUnit) -> SimResult:
+    """Run one unit cold (no cache, current process)."""
+    simulator = GpuSimulator(unit.config)
+    streams = layer_streams(
+        unit.config, unit.traffic, tile=unit.tile, heap=SecureHeap()
+    )
+    return simulator.run(streams, label=unit.label)
+
+
+def _pool_worker(unit: SimUnit) -> tuple[SimResult, dict[str, object]]:
+    """Worker entry point: simulate and return (result, metrics snapshot).
+
+    Each task records into a fresh registry so the parent can merge worker
+    instrumentation without double counting across pool task reuse.
+    """
+    local = MetricsRegistry()
+    previous = set_metrics(local)
+    try:
+        result = simulate_unit(unit)
+    finally:
+        set_metrics(previous)
+    return result, local.snapshot()
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` → CPU count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be a positive integer, 0, or None")
+    return jobs
+
+
+def run_units(
+    units: list[SimUnit] | tuple[SimUnit, ...],
+    *,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
+    metrics: MetricsRegistry | None = None,
+) -> list[SimResult]:
+    """Execute simulation units, deduplicated and (optionally) in parallel.
+
+    Results come back in submission order — ``results[i]`` belongs to
+    ``units[i]`` — independent of worker count and completion order.  Units
+    whose cache key already resolved (earlier in this batch, or in a prior
+    call through ``cache``) are not re-simulated; their stored result is
+    re-labelled with the unit's own label.  Per-unit hit/miss counts land
+    in ``metrics`` under ``sim.cache.hits`` / ``sim.cache.misses``.
+    """
+    units = list(units)
+    jobs = resolve_jobs(jobs)
+    metrics = metrics if metrics is not None else get_metrics()
+    store = _resolve_cache(cache)
+
+    keys = [unit.key() for unit in units]
+    resolved: dict[str, SimResult] = {}
+    pending: "OrderedDict[str, SimUnit]" = OrderedDict()
+    for unit, key in zip(units, keys):
+        if key in resolved or key in pending:
+            continue
+        stored = store.get(key) if store is not None else None
+        if stored is not None:
+            resolved[key] = stored
+        else:
+            pending[key] = unit
+
+    computed: set[str] = set(pending)
+    if pending:
+        todo = list(pending.items())
+        with metrics.timer("parallel.compute"):
+            if jobs == 1 or len(todo) == 1:
+                for key, unit in todo:
+                    with metrics.timer("parallel.unit"):
+                        resolved[key] = simulate_unit(unit)
+            else:
+                workers = min(jobs, len(todo))
+                metrics.count("parallel.pools")
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = pool.map(_pool_worker, [u for _, u in todo])
+                    for (key, _), (result, snapshot) in zip(todo, outcomes):
+                        resolved[key] = result
+                        metrics.merge(snapshot)
+        if store is not None:
+            for key in computed:
+                store.put(key, resolved[key])
+
+    first_compute_claimed: set[str] = set()
+    merged: list[SimResult] = []
+    for unit, key in zip(units, keys):
+        if key in computed and key not in first_compute_claimed:
+            first_compute_claimed.add(key)
+            metrics.count("sim.cache.misses")
+        else:
+            metrics.count("sim.cache.hits")
+        merged.append(replace(resolved[key], label=unit.label))
+    metrics.count("parallel.units", len(units))
+    return merged

@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 from ..core.plan import LayerTraffic, ModelEncryptionPlan
 from ..core.memory import SecureHeap
 from ..nn.layers import Module
+from ..obs.metrics import get_metrics
 from .config import EncryptionMode, GpuConfig, gtx480_config
 from .gpu import GpuSimulator, SimResult
+from .parallel import SimUnit, SimulationCache, run_units
 from .workloads import DEFAULT_TILE, layer_streams
 
 __all__ = [
@@ -26,6 +28,7 @@ __all__ = [
     "fully_encrypted",
     "plaintext_traffic",
     "run_layer",
+    "layer_unit",
     "ModelRunResult",
     "run_model",
     "compare_schemes",
@@ -105,13 +108,35 @@ def run_layer(
     tile: int = DEFAULT_TILE,
     config: GpuConfig | None = None,
 ) -> SimResult:
-    """Simulate one layer under one scheme; returns the kernel result."""
+    """Simulate one layer under one scheme; returns the kernel result.
+
+    This is the uncached serial reference path — the parallel/cached runner
+    in :mod:`repro.sim.parallel` is pinned against it by the golden suite.
+    """
     config = config or scheme_config(scheme, counter_cache_kb=counter_cache_kb)
     simulator = GpuSimulator(config)
     streams = layer_streams(
         config, traffic_for_scheme(traffic, scheme), tile=tile, heap=SecureHeap()
     )
     return simulator.run(streams, label=f"{traffic.name}/{scheme}")
+
+
+def layer_unit(
+    traffic: LayerTraffic,
+    scheme: str,
+    *,
+    counter_cache_kb: int = 96,
+    tile: int = DEFAULT_TILE,
+    config: GpuConfig | None = None,
+) -> SimUnit:
+    """The :class:`SimUnit` equivalent of :func:`run_layer`'s arguments."""
+    config = config or scheme_config(scheme, counter_cache_kb=counter_cache_kb)
+    return SimUnit(
+        traffic=traffic_for_scheme(traffic, scheme),
+        config=config,
+        tile=tile,
+        label=f"{traffic.name}/{scheme}",
+    )
 
 
 @dataclass
@@ -158,6 +183,8 @@ def run_model(
     tile: int = DEFAULT_TILE,
     include_pools: bool = True,
     batch: int = 1,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> ModelRunResult:
     """Simulate a full model inference under one scheme.
 
@@ -165,25 +192,77 @@ def run_model(
     plan.  Layers are simulated independently and summed — inference is a
     dependent chain, so per-layer times add.  ``batch`` scales feature-map
     traffic for batched inference.
+
+    ``jobs`` fans the independent layer simulations over a process pool
+    (``None``/``0`` → CPU count); ``cache`` selects the simulation cache
+    (default: the process-global cache, ``False`` disables caching).
+    Either way the merged results are field-for-field identical to the
+    serial uncached path.
     """
-    if isinstance(source, ModelEncryptionPlan):
-        plan = source
-    else:
-        plan = ModelEncryptionPlan.build(source, ratio, input_shape=input_shape)
-    result = ModelRunResult(model_name=plan.model_name, scheme=scheme)
-    for traffic in plan.layer_traffic(include_pools=include_pools, batch=batch):
-        result.layer_results.append(
-            run_layer(
-                traffic, scheme, counter_cache_kb=counter_cache_kb, tile=tile
-            )
-        )
-    return result
+    results = compare_schemes(
+        source,
+        (scheme,),
+        ratio=ratio,
+        input_shape=input_shape,
+        counter_cache_kb=counter_cache_kb,
+        tile=tile,
+        include_pools=include_pools,
+        batch=batch,
+        jobs=jobs,
+        cache=cache,
+    )
+    return results[scheme]
 
 
 def compare_schemes(
     source: Module | ModelEncryptionPlan,
     schemes: tuple[str, ...] = SCHEMES,
-    **kwargs: object,
+    *,
+    ratio: float = 0.5,
+    input_shape: tuple[int, ...] = (3, 32, 32),
+    counter_cache_kb: int = 96,
+    tile: int = DEFAULT_TILE,
+    include_pools: bool = True,
+    batch: int = 1,
+    jobs: int | None = 1,
+    cache: SimulationCache | None | bool = None,
 ) -> dict[str, ModelRunResult]:
-    """Run a model under several schemes; keys follow the paper's labels."""
-    return {scheme: run_model(source, scheme, **kwargs) for scheme in schemes}
+    """Run a model under several schemes; keys follow the paper's labels.
+
+    The model is lowered to traffic records **once** and the same records
+    are tagged per scheme (Baseline strips criticality, Direct/Counter mark
+    everything critical, SEAL keeps the plan's split) — the per-scheme
+    re-lowering the serial runner used to do was pure recomputation.  All
+    ``len(schemes) × len(layers)`` simulation units then go through
+    :func:`repro.sim.parallel.run_units` as one deduplicated batch.
+    """
+    if isinstance(source, ModelEncryptionPlan):
+        plan = source
+    else:
+        plan = ModelEncryptionPlan.build(source, ratio, input_shape=input_shape)
+    metrics = get_metrics()
+    with metrics.timer("runner.compare_schemes"):
+        traffics = plan.layer_traffic(include_pools=include_pools, batch=batch)
+        units: list[SimUnit] = []
+        owners: list[str] = []
+        for scheme in schemes:
+            config = scheme_config(scheme, counter_cache_kb=counter_cache_kb)
+            for traffic in traffics:
+                units.append(
+                    SimUnit(
+                        traffic=traffic_for_scheme(traffic, scheme),
+                        config=config,
+                        tile=tile,
+                        label=f"{traffic.name}/{scheme}",
+                    )
+                )
+                owners.append(scheme)
+        layer_results = run_units(units, jobs=jobs, cache=cache, metrics=metrics)
+    metrics.count("runner.layer_sims", len(units))
+    results = {
+        scheme: ModelRunResult(model_name=plan.model_name, scheme=scheme)
+        for scheme in schemes
+    }
+    for scheme, result in zip(owners, layer_results):
+        results[scheme].layer_results.append(result)
+    return results

@@ -1,0 +1,164 @@
+"""Property tests for the parallel cached runner.
+
+For arbitrary layer-traffic records: a cache hit returns exactly what the
+cold run produced, cache keys ignore display names, and the merged result
+order depends only on submission order — never on worker count.
+"""
+
+import math
+from dataclasses import fields, replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import LayerTraffic
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.parallel import SimulationCache, cache_key, run_units
+from repro.sim.runner import SCHEMES, layer_unit
+
+
+def _identical(a, b) -> bool:
+    for f in fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ):
+            continue
+        if va != vb:
+            return False
+    return True
+
+
+def _split(total: int, fraction: float) -> tuple[int, int]:
+    encrypted = int(total * fraction)
+    return encrypted, total - encrypted
+
+
+@st.composite
+def traffics(draw) -> LayerTraffic:
+    """Small random conv/fc/pool traffic records (cheap to simulate)."""
+    kind = draw(st.sampled_from(["conv", "fc", "pool"]))
+    fraction = draw(st.floats(min_value=0.0, max_value=1.0))
+    name = draw(st.sampled_from(["alpha", "beta", "gamma"]))
+    if kind == "pool":
+        in_bytes = draw(st.integers(min_value=1, max_value=48)) * 1024
+        out_bytes = max(in_bytes // 4, 256)
+        in_enc, in_plain = _split(in_bytes, fraction)
+        out_enc, out_plain = _split(out_bytes, fraction)
+        return LayerTraffic(
+            name=name,
+            kind="pool",
+            macs=in_bytes // 4,
+            weight_bytes_encrypted=0,
+            weight_bytes_plain=0,
+            input_bytes_encrypted=in_enc,
+            input_bytes_plain=in_plain,
+            output_bytes_encrypted=out_enc,
+            output_bytes_plain=out_plain,
+        )
+    m = draw(st.integers(min_value=4, max_value=48))
+    n = draw(st.integers(min_value=4, max_value=48))
+    k = draw(st.integers(min_value=4, max_value=48))
+    w_enc, w_plain = _split(k * n * 4, fraction)
+    a_enc, a_plain = _split(m * k * 4, fraction)
+    c_enc, c_plain = _split(m * n * 4, fraction)
+    return LayerTraffic(
+        name=name,
+        kind=kind,
+        macs=m * n * k,
+        weight_bytes_encrypted=w_enc,
+        weight_bytes_plain=w_plain,
+        input_bytes_encrypted=a_enc,
+        input_bytes_plain=a_plain,
+        output_bytes_encrypted=c_enc,
+        output_bytes_plain=c_plain,
+        gemm_m=m,
+        gemm_n=n,
+        gemm_k=k,
+    )
+
+
+class TestCacheSemantics:
+    @given(traffic=traffics(), scheme=st.sampled_from(SCHEMES))
+    @settings(max_examples=25, deadline=None)
+    def test_cache_hit_equals_cold_run(self, traffic, scheme):
+        unit = layer_unit(traffic, scheme)
+        cache = SimulationCache()
+        (cold,) = run_units([unit], cache=cache, metrics=MetricsRegistry())
+        metrics = MetricsRegistry()
+        (warm,) = run_units([unit], cache=cache, metrics=metrics)
+        assert metrics.counter("sim.cache.hits") == 1
+        assert metrics.counter("sim.cache.misses") == 0
+        assert _identical(cold, warm)
+
+    @given(traffic=traffics(), scheme=st.sampled_from(SCHEMES))
+    @settings(max_examples=25, deadline=None)
+    def test_cache_key_ignores_name_only(self, traffic, scheme):
+        unit = layer_unit(traffic, scheme)
+        renamed = layer_unit(replace(traffic, name="renamed"), scheme)
+        assert unit.key() == renamed.key()
+        # ...but any simulated quantity entering the key separates it.
+        grown = layer_unit(
+            replace(traffic, input_bytes_plain=traffic.input_bytes_plain + 128),
+            scheme,
+        )
+        assert unit.key() != grown.key()
+
+    @given(traffic=traffics(), scheme=st.sampled_from(SCHEMES))
+    @settings(max_examples=10, deadline=None)
+    def test_renamed_layer_reuses_simulation_with_own_label(self, traffic, scheme):
+        """Repeated same-shape layers (ResNet blocks) share one simulation
+        but keep their own labels; every other field matches exactly."""
+        original = layer_unit(traffic, scheme)
+        renamed = layer_unit(replace(traffic, name="renamed"), scheme)
+        metrics = MetricsRegistry()
+        first, second = run_units(
+            [original, renamed], cache=SimulationCache(), metrics=metrics
+        )
+        assert metrics.counter("sim.cache.misses") == 1
+        assert metrics.counter("sim.cache.hits") == 1
+        assert first.label == original.label
+        assert second.label == renamed.label
+        assert _identical(first, replace(second, label=first.label))
+
+
+class TestMergeDeterminism:
+    @given(
+        batch=st.lists(traffics(), min_size=2, max_size=4),
+        jobs=st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_merge_order_independent_of_worker_count(self, batch, jobs):
+        units = [
+            layer_unit(traffic, scheme)
+            for traffic in batch
+            for scheme in ("Baseline", "SEAL-D")
+        ]
+        serial = run_units(
+            units, jobs=1, cache=SimulationCache(), metrics=MetricsRegistry()
+        )
+        pooled = run_units(
+            units, jobs=jobs, cache=SimulationCache(), metrics=MetricsRegistry()
+        )
+        assert len(serial) == len(pooled) == len(units)
+        for a, b in zip(serial, pooled):
+            assert _identical(a, b)
+
+    @given(batch=st.lists(traffics(), min_size=2, max_size=5, unique_by=id))
+    @settings(max_examples=10, deadline=None)
+    def test_results_follow_submission_order(self, batch):
+        units = [
+            layer_unit(replace(traffic, name=f"layer{i}"), "Direct")
+            for i, traffic in enumerate(batch)
+        ]
+        reversed_units = list(reversed(units))
+        cache = SimulationCache()
+        forward = run_units(units, cache=cache, metrics=MetricsRegistry())
+        backward = run_units(reversed_units, cache=cache, metrics=MetricsRegistry())
+        assert [r.label for r in forward] == [u.label for u in units]
+        assert [r.label for r in backward] == [u.label for u in reversed_units]
+        for a, b in zip(forward, reversed(backward)):
+            assert _identical(a, b)

@@ -4,14 +4,16 @@ import pytest
 
 from repro.core.plan import ModelEncryptionPlan
 from repro.nn.layers import set_init_rng
-from repro.nn.models import vgg16
+from repro.nn.models import build_model, vgg16
 from repro.sim.runner import (
     SCHEMES,
+    compare_schemes,
     fully_encrypted,
     plaintext_traffic,
     run_layer,
     run_model,
     scheme_config,
+    traffic_for_scheme,
 )
 from repro.sim.workloads import matmul_traffic
 
@@ -134,3 +136,55 @@ class TestRunModelFromModule:
         result = run_model(model, "Baseline", ratio=0.5)
         assert result.cycles > 0
         assert result.model_name.startswith("VGG")
+
+
+class TestCompareSchemesSharedLowering:
+    """compare_schemes lowers the model once and tags the shared records
+    per scheme, instead of re-lowering for every scheme."""
+
+    @pytest.fixture()
+    def mlp_plan(self):
+        set_init_rng(0)
+        return ModelEncryptionPlan.build(
+            build_model("mlp"), 0.5, input_shape=(3, 32, 32)
+        )
+
+    def test_layer_traffic_lowered_exactly_once(self, mlp_plan, monkeypatch):
+        calls = []
+        original = ModelEncryptionPlan.layer_traffic
+
+        def counting(self, **kwargs):
+            calls.append(kwargs)
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(ModelEncryptionPlan, "layer_traffic", counting)
+        compare_schemes(mlp_plan, SCHEMES)
+        assert len(calls) == 1
+
+    def test_schemes_see_identical_traffic_records(self, mlp_plan, monkeypatch):
+        captured = []
+        from repro.sim import runner as runner_module
+
+        original = runner_module.run_units
+
+        def capturing(units, **kwargs):
+            captured.extend(units)
+            return original(units, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_units", capturing)
+        compare_schemes(mlp_plan, SCHEMES)
+
+        base_traffics = mlp_plan.layer_traffic()
+        n = len(base_traffics)
+        assert len(captured) == len(SCHEMES) * n
+        by_scheme = {
+            scheme: captured[i * n : (i + 1) * n]
+            for i, scheme in enumerate(SCHEMES)
+        }
+        for scheme in SCHEMES:
+            for base, unit in zip(base_traffics, by_scheme[scheme]):
+                assert unit.traffic == traffic_for_scheme(base, scheme)
+        # SEAL schemes keep the plan's split untouched, so both must carry
+        # the *same* underlying record the single lowering produced.
+        for seal_d, seal_c in zip(by_scheme["SEAL-D"], by_scheme["SEAL-C"]):
+            assert seal_d.traffic is seal_c.traffic

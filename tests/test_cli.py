@@ -1,0 +1,97 @@
+"""CLI smoke tests: ``--jobs``, ``--metrics-out``, and subcommand exit
+codes / output shape (the per-command behaviours are covered in
+``tests/eval/test_cli.py``; this file exercises the runner flags)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.runner import SCHEMES
+
+
+class TestRunnerFlags:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.jobs == 1
+        assert args.metrics_out is None
+
+    def test_figure_accepts_runner_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "5", "--jobs", "3", "--metrics-out", "m.json"]
+        )
+        assert args.jobs == 3
+        assert args.metrics_out == "m.json"
+
+    def test_jobs_requires_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--jobs", "many"])
+
+
+class TestSimulateSmoke:
+    def test_simulate_exit_code_and_table_shape(self, capsys):
+        assert main(["simulate", "--model", "mlp"]) == 0
+        out = capsys.readouterr().out
+        assert "MLP @ ratio 50% on GTX480" in out
+        for scheme in SCHEMES:
+            assert scheme in out
+        for header in ("IPC", "norm IPC", "norm latency", "latency (ms)"):
+            assert header in out
+
+    def test_simulate_with_jobs_pool(self, capsys):
+        assert main(["simulate", "--model", "mlp", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        for scheme in SCHEMES:
+            assert scheme in out
+
+    def test_simulate_unknown_scheme_exits_2(self, capsys):
+        code = main(["simulate", "--model", "mlp", "--schemes", "Baseline,XTS"])
+        assert code == 2
+        assert "XTS" in capsys.readouterr().err
+
+    def test_metrics_out_writes_schema_v1(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "mlp",
+                "--schemes",
+                "Baseline,SEAL-D",
+                "--jobs",
+                "2",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.metrics/v1"
+        assert document["counters"]["sim.kernel_runs"] > 0
+        assert document["counters"]["parallel.units"] > 0
+        assert "sim.cache.hits" in document["counters"]
+        assert "sim.cache.misses" in document["counters"]
+        assert 0.0 <= document["derived"]["cache_hit_rate"] <= 1.0
+        assert document["timers"]["parallel.compute"]["count"] >= 1
+
+
+class TestOtherSubcommandsSmoke:
+    def test_plan_exit_code(self, capsys):
+        assert main(["plan", "--model", "mlp"]) == 0
+        assert "SEAL plan" in capsys.readouterr().out
+
+    def test_table1_exit_code(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Throughput" in capsys.readouterr().out
+
+    def test_snoop_exit_code(self, capsys):
+        assert main(["snoop", "--model", "mlp"]) == 0
+        assert "plaintext" in capsys.readouterr().out
+
+    def test_figure_unsupported_number_rejected(self, capsys):
+        # Figure 3 runs via benchmarks/bench_fig3_ip_stealing.py; argparse
+        # rejects it at the choices gate.
+        with pytest.raises(SystemExit):
+            main(["figure", "3"])
+        assert "invalid choice" in capsys.readouterr().err
