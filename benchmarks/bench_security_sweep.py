@@ -1,0 +1,82 @@
+"""Checkpointed security-sweep pipeline: parallel/resume semantics at bench
+scale.
+
+Runs the Figure-3/4 cells through ``repro.attacks.sweep`` twice against one
+checkpoint directory: a cold pass that computes and checkpoints every cell,
+then a resumed pass that must load all of them back without recomputing a
+single one — the crash-recovery contract of ``python -m repro
+security-sweep --resume``, measured end to end.  The emitted
+``BENCH_security_sweep.json`` metrics document records per-cell wall time,
+query counts and resume counters (schema ``repro.metrics/v1``, see
+docs/metrics.md).
+"""
+
+import os
+
+from repro.attacks.security import SecurityExperimentConfig
+from repro.attacks.substitute import SubstituteConfig
+from repro.attacks.sweep import plan_units, run_sweep
+from repro.obs.metrics import MetricsRegistry
+
+
+def _units(full: bool):
+    config = SecurityExperimentConfig(
+        model="vgg16" if full else "mlp",
+        width_scale=0.125 if full else 0.25,
+        ratios=(0.8, 0.5, 0.2),
+        train_size=1200 if full else 240,
+        test_size=300 if full else 96,
+        victim_epochs=10 if full else 3,
+        substitute=SubstituteConfig(
+            augmentation_rounds=2 if full else 1,
+            epochs=5 if full else 2,
+            max_samples=1600 if full else 192,
+            freeze_known=False,
+        ),
+        transfer_examples=60 if full else 24,
+    )
+    return plan_units(config)
+
+
+def test_security_sweep_checkpoint_resume(
+    benchmark, record_report, record_metrics, jobs, tmp_path
+):
+    full = os.environ.get("SEAL_BENCH_SCALE") == "full"
+    units = _units(full)
+    checkpoint_dir = tmp_path / "checkpoints"
+
+    cold_metrics = MetricsRegistry()
+    result = benchmark.pedantic(
+        lambda: run_sweep(
+            units, jobs=jobs, checkpoint_dir=checkpoint_dir, metrics=cold_metrics
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert cold_metrics.counter("sweep.cells.computed") == len(units)
+    assert cold_metrics.counter("sweep.checkpoints.written") == len(units)
+
+    resumed_metrics = MetricsRegistry()
+    resumed = run_sweep(
+        units,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=True,
+        metrics=resumed_metrics,
+    )
+    # The resumed pass must load every cell and recompute none, and the
+    # loaded results must be field-for-field identical to the cold run.
+    assert resumed_metrics.counter("sweep.cells.resumed") == len(units)
+    assert resumed_metrics.counter("sweep.cells.computed") == 0
+    assert resumed.cells == result.cells
+
+    record_report("security_sweep", result.report())
+    record_metrics(
+        "security_sweep",
+        payload={
+            "cells": len(units),
+            "jobs": jobs,
+            "cold": cold_metrics.snapshot(),
+            "resumed": resumed_metrics.snapshot(),
+        },
+    )

@@ -1,4 +1,16 @@
-"""Model-extraction and adversarial-attack substrate (Sections III-B)."""
+"""Model-extraction and adversarial-attack substrate (Sections III-B).
+
+Three adversary strengths — white-box, black-box, and SEAL(r) — are built
+by :mod:`repro.attacks.substitute`; :mod:`repro.attacks.security` runs one
+serial Figure-3/4 experiment, and :mod:`repro.attacks.sweep` runs the same
+cells checkpointed and in parallel (see ``docs/threat-model.md``).
+
+>>> from repro.attacks import SecurityOutcome, SubstituteConfig
+>>> SecurityOutcome.seal_key(0.5)
+'seal@0.50'
+>>> SubstituteConfig().freeze_known        # the paper's exact adversary
+True
+"""
 
 from .adversarial import AdversarialBatch, IfgsmConfig, craft_adversarial_batch, ifgsm
 from .augmentation import AugmentationResult, jacobian_augment, jacobian_step
@@ -16,6 +28,16 @@ from .substitute import (
     seal_substitute,
     train_substitute,
     white_box_substitute,
+)
+from .sweep import (
+    CellResult,
+    CheckpointStore,
+    SweepResult,
+    SweepUnit,
+    cell_key,
+    plan_units,
+    run_cell,
+    run_sweep,
 )
 from .transferability import TransferResult, measure_transferability
 
@@ -38,6 +60,14 @@ __all__ = [
     "seal_substitute",
     "train_substitute",
     "white_box_substitute",
+    "CellResult",
+    "CheckpointStore",
+    "SweepResult",
+    "SweepUnit",
+    "cell_key",
+    "plan_units",
+    "run_cell",
+    "run_sweep",
     "TransferResult",
     "measure_transferability",
 ]

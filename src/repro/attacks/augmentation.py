@@ -22,6 +22,7 @@ import numpy as np
 from ..nn.data import Dataset
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
+from ..obs.metrics import get_metrics
 
 __all__ = ["jacobian_step", "jacobian_augment", "AugmentationResult"]
 
@@ -85,26 +86,30 @@ def jacobian_augment(
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
+    metrics = get_metrics()
     rng = rng or np.random.default_rng(0)
-    images = seed.images.copy()
-    labels = query_victim(images)
-    queries = len(images)
-    for _ in range(rounds):
-        base = images
-        if max_samples is not None and 2 * len(base) > max_samples:
-            keep = max_samples - len(base)
-            if keep <= 0:
-                break
-            choice = rng.choice(len(base), size=keep, replace=False)
-            base = base[choice]
-            base_labels = labels[choice]
-        else:
-            base_labels = labels
-        new_images = jacobian_step(substitute, base, base_labels, lambda_=lambda_)
-        new_labels = query_victim(new_images)
-        queries += len(new_images)
-        images = np.concatenate([images, new_images], axis=0)
-        labels = np.concatenate([labels, new_labels], axis=0)
-        if train_between_rounds is not None:
-            train_between_rounds(substitute, Dataset(images, labels))
+    with metrics.timer("attack.augment"):
+        images = seed.images.copy()
+        labels = query_victim(images)
+        queries = len(images)
+        for _ in range(rounds):
+            base = images
+            if max_samples is not None and 2 * len(base) > max_samples:
+                keep = max_samples - len(base)
+                if keep <= 0:
+                    break
+                choice = rng.choice(len(base), size=keep, replace=False)
+                base = base[choice]
+                base_labels = labels[choice]
+            else:
+                base_labels = labels
+            new_images = jacobian_step(substitute, base, base_labels, lambda_=lambda_)
+            new_labels = query_victim(new_images)
+            queries += len(new_images)
+            metrics.count("attack.augmentation_rounds")
+            images = np.concatenate([images, new_images], axis=0)
+            labels = np.concatenate([labels, new_labels], axis=0)
+            if train_between_rounds is not None:
+                train_between_rounds(substitute, Dataset(images, labels))
+    metrics.count("attack.queries", queries)
     return AugmentationResult(Dataset(images, labels), rounds, queries)

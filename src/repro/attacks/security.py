@@ -14,7 +14,21 @@ trained substitutes between both measurements.
 
 Scaled-down defaults (width-scaled models, synthetic CIFAR-10, small query
 budgets) keep a full three-model sweep tractable in pure numpy; every knob
-is exposed for larger runs.
+is exposed for larger runs.  For checkpointed, parallel and resumable runs
+of the same cells, use :mod:`repro.attacks.sweep` (``python -m repro
+security-sweep``).
+
+>>> outcome = SecurityOutcome(
+...     model="vgg16",
+...     victim_accuracy=0.94,
+...     accuracy={"white-box": 0.94, "black-box": 0.49,
+...               "seal@0.50": 0.42, "seal@0.20": 0.61},
+...     transferability={},
+... )
+>>> [label for label, _ in outcome.accuracy_series()]
+['white-box', 'seal@0.50', 'seal@0.20', 'black-box']
+>>> SecurityOutcome.seal_key(0.8)
+'seal@0.80'
 """
 
 from __future__ import annotations

@@ -47,13 +47,25 @@ ModelBuilder = Callable[[], Module]
 class SubstituteConfig:
     """Training budget for substitute generation (scaled-down defaults).
 
-    ``freeze_known`` selects between the paper's adversary, who "keeps the
-    known weight parameters unchanged and fine-tunes unknown weight
-    parameters", and a strictly stronger variant that merely *initialises*
-    from the snooped plaintext and fine-tunes everything.  At small query
-    budgets the frozen variant can under-perform (the frozen values
-    constrain optimisation more than they inform it), so security sweeps
-    should evaluate the stronger adversary too.
+    ``freeze_known`` selects the SEAL fine-tuning variant — named
+    ``frozen`` / ``init-only`` throughout the sweep pipeline
+    (:data:`repro.attacks.sweep.VARIANTS`):
+
+    * ``True`` (default) — the paper's exact adversary, who "keeps the
+      known weight parameters unchanged and fine-tunes unknown weight
+      parameters";
+    * ``False`` — the strictly stronger *init-only* variant that merely
+      initialises from the snooped plaintext and fine-tunes everything.
+
+    The two cross over with query budget: once the budget is large enough
+    for fine-tuning to exploit the leak (hundreds of queries against a
+    meaningfully trained victim, and a fortiori the paper's 45k-query
+    scale) the frozen adversary is stronger at every ratio, while at tiny
+    smoke-test budgets the frozen values constrain optimisation more than
+    they inform it and ``init-only`` comes out ahead.  See
+    ``docs/threat-model.md`` ("Adversary variants and their crossover")
+    for the measured numbers; security sweeps should evaluate both
+    (``python -m repro security-sweep --variants init-only,frozen``).
     """
 
     augmentation_rounds: int = 2

@@ -2,16 +2,20 @@
 
 Commands
 --------
-``plan``       build and print a smart-encryption plan (optionally save JSON)
-``simulate``   run a model under the five schemes on the GTX480 model
-``snoop``      summarize what a bus adversary learns at a given ratio
-``table1``     print the AES engine survey
-``figure``     regenerate one of the paper's performance figures (1/5/6/7/8)
+``plan``            build and print a smart-encryption plan (optionally save JSON)
+``simulate``        run a model under the five schemes on the GTX480 model
+``snoop``           summarize what a bus adversary learns at a given ratio
+``table1``          print the AES engine survey
+``figure``          regenerate one of the paper's performance figures (1/5/6/7/8)
+``security-sweep``  checkpointed Figure-3/4 substitute sweep (docs/threat-model.md)
 
-``simulate`` and ``figure`` accept ``--jobs N`` to fan independent layer
-simulations over a process pool and ``--metrics-out PATH`` to write the
-run's counters/timers/cache statistics as JSON (schema
-``repro.metrics/v1``; see DESIGN.md).
+``simulate``, ``figure`` and ``security-sweep`` accept ``--jobs N`` to fan
+independent work over a process pool and ``--metrics-out PATH`` to write
+the run's counters/timers/cache statistics as JSON (schema
+``repro.metrics/v1``; see docs/metrics.md).  ``security-sweep``
+additionally checkpoints every finished cell under ``--checkpoint-dir``
+and, with ``--resume``, skips cells a previous (possibly killed) run
+already completed.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from .core.seal import SealScheme
 from .core.serialize import save_plan
 from .eval.reporting import ascii_table
 from .nn.models import MODEL_BUILDERS, build_model
-from .obs.metrics import get_metrics
+from .obs.metrics import get_metrics, reset_metrics
 from .sim.runner import SCHEMES, compare_schemes
 
 __all__ = ["main"]
@@ -137,6 +141,79 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_security_sweep(args: argparse.Namespace) -> int:
+    from .attacks.security import SecurityExperimentConfig
+    from .attacks.substitute import SubstituteConfig
+    from .attacks.sweep import VARIANTS, plan_units, run_sweep
+
+    # The resume summary and --metrics-out must describe THIS invocation;
+    # within one process (tests, notebooks) the global registry otherwise
+    # accumulates across runs.
+    reset_metrics()
+
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    unknown = [name for name in models if name not in MODEL_BUILDERS]
+    if unknown:
+        print(
+            f"unknown model(s) {', '.join(unknown)}; "
+            f"choose from {','.join(sorted(MODEL_BUILDERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        ratios = tuple(float(token) for token in args.ratios.split(","))
+    except ValueError:
+        print(f"--ratios must be comma-separated floats: {args.ratios!r}", file=sys.stderr)
+        return 2
+    variants = tuple(token.strip() for token in args.variants.split(",") if token.strip())
+    bad = [variant for variant in variants if variant not in VARIANTS]
+    if bad:
+        print(
+            f"unknown variant(s) {', '.join(bad)}; choose from {','.join(VARIANTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    units = []
+    for model in models:
+        config = SecurityExperimentConfig(
+            model=model,
+            width_scale=args.width_scale,
+            ratios=ratios,
+            train_size=args.train_size,
+            test_size=args.test_size,
+            victim_epochs=args.victim_epochs,
+            substitute=SubstituteConfig(
+                augmentation_rounds=args.augmentation_rounds,
+                epochs=args.substitute_epochs,
+                max_samples=args.max_samples,
+                freeze_known=False,
+            ),
+            transfer_examples=args.transfer_examples,
+            dataset_seed=args.dataset_seed,
+            seed=args.seed,
+        )
+        units += plan_units(
+            config, variants=variants, measure_transfer=not args.no_transfer
+        )
+    result = run_sweep(
+        units,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    print(result.report())
+    if args.checkpoint_dir:
+        counters = get_metrics().counters
+        print(
+            f"cells: {counters.get('sweep.cells.total', 0)} total, "
+            f"{counters.get('sweep.cells.resumed', 0)} resumed, "
+            f"{counters.get('sweep.cells.computed', 0)} computed "
+            f"(checkpoints in {args.checkpoint_dir})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +272,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("number", choices=["1", "5", "6", "7", "8"])
     add_runner_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "security-sweep",
+        help="checkpointed, parallel Figure-3/4 substitute sweep",
+    )
+    p_sweep.add_argument(
+        "--models", default="vgg16",
+        help="comma-separated victim architectures (default vgg16)",
+    )
+    p_sweep.add_argument(
+        "--ratios", default="0.8,0.5,0.2",
+        help="comma-separated encryption ratios (default 0.8,0.5,0.2)",
+    )
+    p_sweep.add_argument(
+        "--variants", default="init-only",
+        help="SEAL fine-tuning variants: init-only, frozen, or both "
+        "(see docs/threat-model.md)",
+    )
+    p_sweep.add_argument("--width-scale", type=float, default=0.125)
+    p_sweep.add_argument("--train-size", type=int, default=1200)
+    p_sweep.add_argument("--test-size", type=int, default=300)
+    p_sweep.add_argument("--victim-epochs", type=int, default=10)
+    p_sweep.add_argument("--substitute-epochs", type=int, default=5)
+    p_sweep.add_argument("--augmentation-rounds", type=int, default=2)
+    p_sweep.add_argument("--max-samples", type=int, default=1600)
+    p_sweep.add_argument("--transfer-examples", type=int, default=60)
+    p_sweep.add_argument(
+        "--no-transfer", action="store_true",
+        help="skip the Figure-4 transferability measurement",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--dataset-seed", type=int, default=7)
+    p_sweep.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write one atomic JSON checkpoint per finished cell",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip cells whose checkpoint in --checkpoint-dir validates",
+    )
+    add_runner_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_security_sweep)
 
     return parser
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 __all__ = ["ascii_table", "format_series", "normalize_to_first", "bar"]
@@ -12,14 +13,20 @@ def ascii_table(
     rows: Iterable[Sequence[object]],
     *,
     float_format: str = "{:.3f}",
+    nan_text: str = "n/a",
 ) -> str:
-    """Render rows as a fixed-width ASCII table."""
+    """Render rows as a fixed-width ASCII table.
+
+    NaN floats render as ``nan_text`` — sweep tables use NaN for cells a
+    run did not measure (a ratio one model skipped, a disabled Figure-4
+    pass), and ``n/a`` reads better than ``nan`` in the reports.
+    """
     materialized: list[list[str]] = []
     for row in rows:
         cells = []
         for value in row:
             if isinstance(value, float):
-                cells.append(float_format.format(value))
+                cells.append(nan_text if math.isnan(value) else float_format.format(value))
             else:
                 cells.append(str(value))
         materialized.append(cells)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from . import functional as F
 from .data import Dataset, batch_iterator
 from .layers import Module
@@ -93,20 +94,23 @@ def fit(
     """Train for ``epochs`` epochs, optionally evaluating each epoch."""
     if epochs <= 0:
         raise ValueError("epochs must be positive")
+    metrics = get_metrics()
     report = TrainReport()
-    for epoch in range(epochs):
-        loss, accuracy = train_epoch(
-            model, train_set, optimizer, batch_size=batch_size, seed=seed + epoch
-        )
-        report.train_loss.append(loss)
-        report.train_accuracy.append(accuracy)
-        if eval_set is not None:
-            report.eval_accuracy.append(evaluate(model, eval_set))
-        if scheduler is not None:
-            scheduler.step()
-        if verbose:
-            eval_txt = (
-                f" eval_acc={report.eval_accuracy[-1]:.3f}" if eval_set is not None else ""
+    with metrics.timer("train.fit"):
+        for epoch in range(epochs):
+            loss, accuracy = train_epoch(
+                model, train_set, optimizer, batch_size=batch_size, seed=seed + epoch
             )
-            print(f"epoch {epoch + 1}/{epochs} loss={loss:.4f} acc={accuracy:.3f}{eval_txt}")
+            metrics.count("train.epochs")
+            report.train_loss.append(loss)
+            report.train_accuracy.append(accuracy)
+            if eval_set is not None:
+                report.eval_accuracy.append(evaluate(model, eval_set))
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:
+                eval_txt = (
+                    f" eval_acc={report.eval_accuracy[-1]:.3f}" if eval_set is not None else ""
+                )
+                print(f"epoch {epoch + 1}/{epochs} loss={loss:.4f} acc={accuracy:.3f}{eval_txt}")
     return report

@@ -1,8 +1,10 @@
 """Counters, wall-clock timers, and cache statistics with JSON emission.
 
 The experiment harness (:mod:`repro.sim.parallel`, :func:`repro.sim.runner
-.run_model`, ``repro.eval.experiments``) records what it does into a
-process-wide :class:`MetricsRegistry`.  A registry serialises to a stable
+.run_model`, ``repro.eval.experiments``, the security sweep in
+:mod:`repro.attacks.sweep` and substitute training in
+:mod:`repro.nn.training` / :mod:`repro.attacks.augmentation`) records what
+it does into a process-wide :class:`MetricsRegistry`.  A registry serialises to a stable
 JSON document (``schema`` = :data:`METRICS_SCHEMA`) so benchmark scripts and
 the CLI can persist machine-readable run trajectories::
 
@@ -138,6 +140,12 @@ class MetricsRegistry:
         kernel = timers.get("sim.kernel")
         if kernel:
             derived["mean_kernel_seconds"] = kernel["mean_seconds"]
+        cell = timers.get("sweep.cell")
+        if cell:
+            derived["mean_cell_seconds"] = cell["mean_seconds"]
+        queries = counters.get("attack.queries")
+        if queries and cell and cell["count"]:
+            derived["queries_per_cell"] = queries / cell["count"]
         return {
             "schema": METRICS_SCHEMA,
             "counters": counters,

@@ -28,16 +28,13 @@ field-for-field identical to a cold serial run (the golden suite in
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
-import json
 import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from ..core.keys import canonical_encode, content_key
 from ..core.memory import SecureHeap
 from ..core.plan import LayerTraffic
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
@@ -60,22 +57,8 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Cache keys
 # ----------------------------------------------------------------------
-def _encode(value: object) -> object:
-    """Canonical JSON-able encoding of configs/traffic for hashing."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: _encode(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return value.value
-    if isinstance(value, (list, tuple)):
-        return [_encode(item) for item in value]
-    return value
-
-
 def cache_key(config: GpuConfig, traffic: LayerTraffic, tile: int = DEFAULT_TILE) -> str:
-    """Content hash of one simulation unit.
+    """Content hash of one simulation unit (via :mod:`repro.core.keys`).
 
     The key covers every input the simulation depends on — the full
     :class:`GpuConfig` (including encryption mode, engine spec and counter
@@ -85,16 +68,16 @@ def cache_key(config: GpuConfig, traffic: LayerTraffic, tile: int = DEFAULT_TILE
     numbers, and excluding it is what lets repeated same-shape layers share
     one simulation.
     """
-    traffic_fields = _encode(traffic)
+    traffic_fields = canonical_encode(traffic)
     assert isinstance(traffic_fields, dict)
     traffic_fields.pop("name", None)
-    payload = {
-        "config": _encode(config),
-        "traffic": traffic_fields,
-        "tile": tile,
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()
+    return content_key(
+        {
+            "config": canonical_encode(config),
+            "traffic": traffic_fields,
+            "tile": tile,
+        }
+    )
 
 
 # ----------------------------------------------------------------------

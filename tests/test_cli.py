@@ -76,6 +76,87 @@ class TestSimulateSmoke:
         assert document["timers"]["parallel.compute"]["count"] >= 1
 
 
+def _sweep_args(*extra):
+    """Tiny-MLP security-sweep invocation (~seconds, every adversary)."""
+    return [
+        "security-sweep",
+        "--models", "mlp",
+        "--ratios", "0.5",
+        "--width-scale", "0.25",
+        "--train-size", "160",
+        "--test-size", "64",
+        "--victim-epochs", "2",
+        "--substitute-epochs", "1",
+        "--augmentation-rounds", "1",
+        "--max-samples", "128",
+        "--transfer-examples", "16",
+        *extra,
+    ]
+
+
+class TestSecuritySweep:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["security-sweep"])
+        assert args.models == "vgg16"
+        assert args.ratios == "0.8,0.5,0.2"
+        assert args.variants == "init-only"
+        assert args.jobs == 1
+        assert args.checkpoint_dir is None
+        assert not args.resume
+
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["security-sweep", "--models", "alexnet"]) == 2
+        assert "alexnet" in capsys.readouterr().err
+
+    def test_bad_ratios_exit_2(self, capsys):
+        assert main(["security-sweep", "--ratios", "half"]) == 2
+        assert "comma-separated floats" in capsys.readouterr().err
+
+    def test_unknown_variant_exits_2(self, capsys):
+        assert main(["security-sweep", "--variants", "thawed"]) == 2
+        assert "thawed" in capsys.readouterr().err
+
+    def test_sweep_smoke_tables(self, capsys):
+        assert main(_sweep_args()) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3: substitute accuracy" in out
+        assert "Fig 4: transferability" in out
+        for label in ("white-box", "black-box", "seal@0.50"):
+            assert label in out
+
+    def test_sweep_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoints = tmp_path / "ckpt"
+        code = main(
+            _sweep_args(
+                "--jobs", "2",
+                "--checkpoint-dir", str(checkpoints),
+                "--metrics-out", str(tmp_path / "metrics.json"),
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 total, 0 resumed, 3 computed" in out
+        assert len(list(checkpoints.glob("*.json"))) == 3
+        document = json.loads((tmp_path / "metrics.json").read_text())
+        assert document["schema"] == "repro.metrics/v1"
+        assert document["counters"]["sweep.checkpoints.written"] == 3
+        assert document["counters"]["attack.queries"] > 0
+        assert document["timers"]["sweep.cell"]["count"] == 3
+        assert document["derived"]["mean_cell_seconds"] > 0
+
+        code = main(
+            _sweep_args("--checkpoint-dir", str(checkpoints), "--resume")
+        )
+        assert code == 0
+        assert "3 total, 3 resumed, 0 computed" in capsys.readouterr().out
+
+    def test_no_transfer_skips_fig4(self, capsys):
+        assert main(_sweep_args("--no-transfer")) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3: substitute accuracy" in out
+        assert "Fig 4" not in out
+
+
 class TestOtherSubcommandsSmoke:
     def test_plan_exit_code(self, capsys):
         assert main(["plan", "--model", "mlp"]) == 0

@@ -1,0 +1,87 @@
+"""The repo's markdown cross-references must resolve (tools/check_links.py).
+
+Runs the checker exactly as the CI docs job does over the real tree, plus
+unit coverage of its failure modes against synthetic documents.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_links.py"
+
+sys.path.insert(0, str(REPO / "tools"))
+import check_links  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_repo_markdown_has_no_broken_links(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(CHECKER),
+                "README.md",
+                "EXPERIMENTS.md",
+                "DESIGN.md",
+                "docs/",
+            ],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "0 broken links" in proc.stdout
+
+    def test_docs_pages_exist(self):
+        for page in ("architecture.md", "metrics.md", "threat-model.md"):
+            assert (REPO / "docs" / page).exists()
+
+
+class TestChecker:
+    def test_broken_target_fails(self, tmp_path):
+        (tmp_path / "a.md").write_text("see [gone](missing.md)\n")
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
+        assert "broken link -> missing.md" in problems[0]
+
+    def test_valid_relative_link_passes(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "a.md").write_text("up: [root](../b.md)\n")
+        (tmp_path / "b.md").write_text("# B\n")
+        assert check_links.check_file(tmp_path / "sub" / "a.md") == []
+
+    def test_anchor_checked_in_target(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[ok](b.md#the-heading) [bad](b.md#nope)\n"
+        )
+        (tmp_path / "b.md").write_text("## The heading\n")
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
+        assert "missing anchor -> b.md#nope" in problems[0]
+
+    def test_self_fragment_link(self, tmp_path):
+        (tmp_path / "a.md").write_text("# Top\n\n[up](#top) [bad](#below)\n")
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
+        assert "#below" in problems[0]
+
+    def test_code_fences_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```\n[not a link](nowhere.md)\n```\nreal text\n"
+        )
+        assert check_links.check_file(tmp_path / "a.md") == []
+
+    def test_external_links_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[x](https://example.com/y) [m](mailto:a@b.c)\n"
+        )
+        assert check_links.check_file(tmp_path / "a.md") == []
+
+    def test_anchor_slug_strips_backticks_and_punctuation(self):
+        slug = check_links.github_anchor("`repro.metrics/v1` — the schema")
+        assert slug == "reprometricsv1--the-schema"
+
+    def test_missing_input_file_exits_1(self, capsys):
+        assert check_links.main(["definitely-not-here.md"]) == 1
+        assert "no such file" in capsys.readouterr().err

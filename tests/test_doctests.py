@@ -5,10 +5,24 @@ import doctest
 import pytest
 
 import repro
+import repro.attacks
+import repro.attacks.security
+import repro.attacks.sweep
+import repro.core.keys
 import repro.crypto.aes
 
 
-@pytest.mark.parametrize("module", [repro, repro.crypto.aes])
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.attacks,
+        repro.attacks.security,
+        repro.attacks.sweep,
+        repro.core.keys,
+        repro.crypto.aes,
+    ],
+)
 def test_module_doctests(module):
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Usage::
+
+    python tools/check_links.py README.md EXPERIMENTS.md docs/
+
+Directories are searched recursively for ``*.md``.  For every inline
+markdown link or image, targets that are not external (``http://``,
+``https://``, ``mailto:``) are resolved relative to the containing file
+and must exist; ``#fragment`` suffixes on markdown targets (and bare
+``#fragment`` self-links) must match a GitHub-style heading anchor in the
+target document.  Links inside fenced code blocks are ignored.  Exit code
+is 0 when every link resolves, 1 otherwise (one ``file:line: message``
+diagnostic per broken link).  Stdlib only, so CI can run it anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()\s]*\))?)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading→anchor slug: strip punctuation, spaces become dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def iter_markdown(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def document_lines(path: Path) -> list[tuple[int, str]]:
+    """(line_number, text) pairs with fenced code blocks blanked out."""
+    lines: list[tuple[int, str]] = []
+    in_fence = False
+    for number, text in enumerate(path.read_text().splitlines(), start=1):
+        if text.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append((number, text))
+    return lines
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {
+        github_anchor(match.group(1))
+        for _, text in document_lines(path)
+        if (match := HEADING.match(text))
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for number, text in document_lines(path):
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            base, _, fragment = target.partition("#")
+            resolved = path if not base else (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{number}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if github_anchor(fragment) not in anchors_of(resolved):
+                    problems.append(
+                        f"{path}:{number}: missing anchor -> {target}"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="+", help="markdown files or directories to check"
+    )
+    args = parser.parse_args(argv)
+
+    files = iter_markdown(args.paths)
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file:", ", ".join(missing), file=sys.stderr)
+        return 1
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
