@@ -1,0 +1,47 @@
+"""Bus-tampering fault-injection campaign: the integrity side of SEAL.
+
+Runs :func:`repro.eval.experiments.fault_injection` on a SEAL-protected
+memory image and asserts the campaign's contract end to end: every
+injected fault (bit flips, splices, replays, counter desyncs, MAC
+truncation) on an authenticated encrypted line is detected, no untampered
+line fails verification, and faults on the plaintext lines smart
+encryption leaves unprotected corrupt data silently — the measured
+integrity gap (docs/fault-model.md).  Emits
+``BENCH_fault_injection.json`` with the per-class detection counts and the
+campaign's ``faults.*`` metrics counters (schema ``repro.metrics/v1``).
+"""
+
+import os
+
+from repro.eval.experiments import fault_injection
+from repro.obs.metrics import reset_metrics
+
+
+def test_fault_injection_campaign(benchmark, record_report, record_metrics):
+    full = os.environ.get("SEAL_BENCH_SCALE") == "full"
+    metrics = reset_metrics()
+    result = benchmark.pedantic(
+        lambda: fault_injection(
+            model="vgg16" if full else "mlp",
+            width_scale=0.125 if full else 0.25,
+            faults_per_class=32 if full else 8,
+            max_lines_per_region=64 if full else 24,
+            seed=0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    assert result.problems() == []
+    assert result.detection_rate("encrypted") == 1.0
+    assert result.false_positives == 0
+    assert result.silent_rate("plaintext") > 0.0
+    injected = metrics.counter("faults.injected")
+    assert injected == len(result.records)
+    assert metrics.counter("faults.undetected.encrypted") == 0
+
+    record_report("fault_injection", result.report())
+    record_metrics(
+        "fault_injection",
+        payload={"campaign": result.to_dict()},
+    )

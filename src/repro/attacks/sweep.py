@@ -48,13 +48,14 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..core.keys import canonical_encode, content_key
 from ..core.seal import SealScheme
+from ..faults import CHAOS_ENV_VAR, RetryPolicy, chaos_probe, run_hardened
+from ..faults.quarantine import quarantine_artifact
 from ..nn.data import SyntheticCIFAR10, train_adversary_split
 from ..nn.layers import set_init_rng
 from ..nn.models import build_model
@@ -432,6 +433,15 @@ class CheckpointStore:
             raise CheckpointError(f"{path} result/envelope key mismatch")
         return cell
 
+    def quarantine(self, unit: SweepUnit, *, reason: str = "") -> Path | None:
+        """Move the unit's (corrupt) checkpoint aside; None when absent.
+
+        The original path is freed for recomputation while the bad bytes
+        land next to it as ``<name>.quarantine`` with a ``.reason``
+        sidecar — see :func:`repro.faults.quarantine.quarantine_artifact`.
+        """
+        return quarantine_artifact(self.path(unit), reason=reason)
+
     def store(self, unit: SweepUnit, result: CellResult, *, wall_seconds: float) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(unit)
@@ -546,7 +556,13 @@ class SweepResult:
 
 
 def _pool_worker(unit: SweepUnit) -> tuple[CellResult, dict[str, object], float]:
-    """Worker entry point: compute one cell in a fresh metrics registry."""
+    """Worker entry point: compute one cell in a fresh metrics registry.
+
+    The chaos probe lets the hardening suite crash/hang/fail a chosen cell
+    by label (no-op unless ``REPRO_CHAOS`` is set).
+    """
+    if os.environ.get(CHAOS_ENV_VAR):
+        chaos_probe(unit.key(), unit.label)
     local = MetricsRegistry()
     previous = set_metrics(local)
     start = time.perf_counter()
@@ -564,6 +580,7 @@ def run_sweep(
     checkpoint_dir: str | Path | None = None,
     resume: bool = True,
     metrics: MetricsRegistry | None = None,
+    policy: RetryPolicy | None = None,
 ) -> SweepResult:
     """Execute sweep cells, deduplicated, checkpointed and in parallel.
 
@@ -573,8 +590,16 @@ def run_sweep(
     regardless of worker count or completion order.  With
     ``checkpoint_dir``, each finished cell is written atomically the
     moment it completes; with ``resume`` (the default), cells whose
-    checkpoint validates are loaded instead of recomputed — corrupt or
-    stale checkpoints are rejected, recomputed and overwritten.
+    checkpoint validates are loaded instead of recomputed — a corrupt or
+    stale checkpoint is quarantined (``*.quarantine`` next to it, reason
+    in a sidecar) and its cell recomputed.
+
+    Execution is hardened (see :mod:`repro.faults.runner`): ``policy``
+    grants per-cell retries and timeouts, a crashed worker only charges
+    the cells in flight, and a permanently-failing cell raises a
+    :class:`~repro.faults.UnitExecutionError` naming its key — only after
+    every other cell has completed *and been checkpointed*, so the next
+    ``--resume`` run picks up exactly where this one failed.
     """
     if isinstance(units, SecurityExperimentConfig):
         units = plan_units(units)
@@ -592,8 +617,10 @@ def run_sweep(
         if store is not None and resume:
             try:
                 loaded = store.load(unit)
-            except CheckpointError:
+            except CheckpointError as error:
                 metrics.count("sweep.checkpoints.corrupt")
+                if store.quarantine(unit, reason=str(error)) is not None:
+                    metrics.count("sweep.checkpoints.quarantined")
                 loaded = None
             if loaded is not None:
                 resolved[key] = loaded
@@ -606,7 +633,7 @@ def run_sweep(
             store.store(unit, result, wall_seconds=seconds)
             metrics.count("sweep.checkpoints.written")
 
-    todo = list(pending.items())
+    todo = [(key, unit.label, unit) for key, unit in pending.items()]
     if todo:
         with metrics.timer("sweep.compute"):
             if jobs == 1 or len(todo) == 1:
@@ -615,25 +642,42 @@ def run_sweep(
                 # exactly as the pool path does via worker snapshots.
                 previous = set_metrics(metrics)
                 try:
-                    for key, unit in todo:
+
+                    def serial_worker(unit: SweepUnit) -> tuple[CellResult, float]:
                         start = time.perf_counter()
-                        resolved[key] = run_cell(unit)
-                        checkpoint(unit, resolved[key], time.perf_counter() - start)
+                        return run_cell(unit), time.perf_counter() - start
+
+                    def serial_deliver(key: str, unit: object, outcome: object) -> None:
+                        result, seconds = outcome  # type: ignore[misc]
+                        resolved[key] = result
+                        checkpoint(unit, result, seconds)  # type: ignore[arg-type]
+
+                    run_hardened(
+                        serial_worker,
+                        todo,
+                        jobs=1,
+                        policy=policy,
+                        metrics=metrics,
+                        on_result=serial_deliver,
+                    )
                 finally:
                     set_metrics(previous)
             else:
-                workers = min(jobs, len(todo))
                 metrics.count("sweep.pools")
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(_pool_worker, unit): (key, unit)
-                        for key, unit in todo
-                    }
-                    for future in as_completed(futures):
-                        key, unit = futures[future]
-                        result, snapshot, seconds = future.result()
-                        resolved[key] = result
-                        metrics.merge(snapshot)
-                        checkpoint(unit, result, seconds)
+
+                def pool_deliver(key: str, unit: object, outcome: object) -> None:
+                    result, snapshot, seconds = outcome  # type: ignore[misc]
+                    resolved[key] = result
+                    metrics.merge(snapshot)
+                    checkpoint(unit, result, seconds)  # type: ignore[arg-type]
+
+                run_hardened(
+                    _pool_worker,
+                    todo,
+                    jobs=jobs,
+                    policy=policy,
+                    metrics=metrics,
+                    on_result=pool_deliver,
+                )
     metrics.count("sweep.cells.total", len(units))
     return SweepResult(cells=[resolved[key] for key in keys])

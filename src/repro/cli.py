@@ -8,6 +8,7 @@ Commands
 ``table1``          print the AES engine survey
 ``figure``          regenerate one of the paper's performance figures (1/5/6/7/8)
 ``security-sweep``  checkpointed Figure-3/4 substitute sweep (docs/threat-model.md)
+``faults``          bus-tampering fault-injection campaign (docs/fault-model.md)
 
 ``simulate``, ``figure`` and ``security-sweep`` accept ``--jobs N`` to fan
 independent work over a process pool and ``--metrics-out PATH`` to write
@@ -15,7 +16,11 @@ the run's counters/timers/cache statistics as JSON (schema
 ``repro.metrics/v1``; see docs/metrics.md).  ``security-sweep``
 additionally checkpoints every finished cell under ``--checkpoint-dir``
 and, with ``--resume``, skips cells a previous (possibly killed) run
-already completed.
+already completed; ``--max-attempts``/``--unit-timeout`` arm the hardened
+runner's bounded retry and per-cell timeout (docs/fault-model.md).
+``faults`` exits nonzero if any fault on an authenticated encrypted line
+goes undetected, any untampered line fails verification, or the
+plaintext-line integrity gap fails to show.
 """
 
 from __future__ import annotations
@@ -174,6 +179,14 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
         )
         return 2
 
+    policy = None
+    if args.max_attempts != 1 or args.unit_timeout is not None:
+        from .faults import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=args.max_attempts, timeout_seconds=args.unit_timeout
+        )
+
     units = []
     for model in models:
         config = SecurityExperimentConfig(
@@ -201,6 +214,7 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        policy=policy,
     )
     print(result.report())
     if args.checkpoint_dir:
@@ -211,6 +225,30 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
             f"{counters.get('sweep.cells.computed', 0)} computed "
             f"(checkpoints in {args.checkpoint_dir})"
         )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+    reset_metrics()
+    config = FaultCampaignConfig(
+        model=args.model,
+        ratio=args.ratio,
+        width_scale=args.width_scale,
+        seed=args.seed,
+        faults_per_class=args.faults_per_class,
+        max_lines_per_region=args.max_lines,
+        authenticate=not args.no_auth,
+    )
+    result = run_fault_campaign(config)
+    print(result.report())
+    problems = result.problems()
+    if problems:
+        print(
+            "fault campaign FAILED: " + "; ".join(problems), file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -312,8 +350,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip cells whose checkpoint in --checkpoint-dir validates",
     )
+    p_sweep.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="attempts per cell before it is declared poisoned (default 1)",
+    )
+    p_sweep.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a cell running longer than this (needs --jobs > 1)",
+    )
     add_runner_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_security_sweep)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="bus-tampering fault-injection campaign (docs/fault-model.md)",
+    )
+    p_faults.add_argument(
+        "--model", default="mlp", choices=sorted(MODEL_BUILDERS),
+        help="victim architecture the protected image derives from",
+    )
+    p_faults.add_argument("--ratio", type=float, default=0.5, help="encryption ratio")
+    p_faults.add_argument(
+        "--width-scale", type=float, default=0.25,
+        help="channel-width scale factor of the victim (default 0.25)",
+    )
+    p_faults.add_argument(
+        "--faults-per-class", type=int, default=8, metavar="N",
+        help="injections per (fault class, line type) pair (default 8)",
+    )
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument(
+        "--max-lines", type=int, default=24, metavar="N",
+        help="cap lines per heap region (pure-Python AES is slow)",
+    )
+    p_faults.add_argument(
+        "--no-auth", action="store_true",
+        help="drop per-line authentication (shows faults going silent)",
+    )
+    p_faults.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write campaign metrics (counters/timers) as JSON",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     return parser
 

@@ -10,11 +10,27 @@ The format is plain JSON: masks are stored as 0/1 lists, importance as
 floats.  ``plan_from_dict`` reconstructs a fully functional
 :class:`~repro.core.plan.ModelEncryptionPlan` (queries, traffic splitting,
 validation) without needing the original model.
+
+Robustness of the blob itself (a plan rides alongside gigabytes of model
+weights through the same copy pipelines):
+
+* every serialized plan carries a CRC-32 ``checksum`` over its canonical
+  JSON body, verified on load — a flipped byte fails with the stored and
+  computed digests in the message instead of surfacing later as a
+  mysteriously-invalid mask;
+* a ``format_version`` *newer* than this reader understands is rejected
+  with an explicit upgrade hint (older readers must not half-parse future
+  blobs), distinct from the plain unsupported-version error;
+* :func:`load_plan` turns unreadable files and structural surprises into
+  :class:`~repro.core.plan.PlanError` naming the path, and can quarantine
+  the bad file (``*.quarantine`` + reason sidecar) so the slot is free
+  for regeneration while the evidence survives.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 
 import numpy as np
 
@@ -31,9 +47,16 @@ __all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
 _FORMAT_VERSION = 1
 
 
+def _payload_checksum(payload: dict) -> int:
+    """CRC-32 over the canonical JSON body (everything but ``checksum``)."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(encoded.encode("utf-8"))
+
+
 def plan_to_dict(plan: ModelEncryptionPlan) -> dict:
-    """Serialize a plan to a JSON-compatible dictionary."""
-    return {
+    """Serialize a plan to a JSON-compatible dictionary (checksummed)."""
+    payload = {
         "format_version": _FORMAT_VERSION,
         "model_name": plan.model_name,
         "ratio": plan.ratio,
@@ -85,13 +108,33 @@ def plan_to_dict(plan: ModelEncryptionPlan) -> dict:
             for aux in plan.aux
         ],
     }
+    payload["checksum"] = _payload_checksum(payload)
+    return payload
 
 
 def plan_from_dict(payload: dict) -> ModelEncryptionPlan:
-    """Reconstruct a plan from :func:`plan_to_dict` output."""
+    """Reconstruct a plan from :func:`plan_to_dict` output.
+
+    The version gate runs first (a future blob must not be half-parsed),
+    then the CRC-32 checksum when the blob carries one — checksum-less
+    version-1 blobs from before checksums existed still load.
+    """
     version = payload.get("format_version")
+    if isinstance(version, int) and version > _FORMAT_VERSION:
+        raise PlanError(
+            f"plan format version {version} is newer than the supported "
+            f"version {_FORMAT_VERSION}; upgrade this reader to load it"
+        )
     if version != _FORMAT_VERSION:
         raise PlanError(f"unsupported plan format version {version!r}")
+    checksum = payload.get("checksum")
+    if checksum is not None:
+        computed = _payload_checksum(payload)
+        if checksum != computed:
+            raise PlanError(
+                f"plan checksum mismatch: stored {checksum!r}, computed "
+                f"{computed} — the blob was corrupted on disk or in transit"
+            )
     layers = [
         WeightLayerPlan(
             name=item["name"],
@@ -160,7 +203,33 @@ def save_plan(plan: ModelEncryptionPlan, path: str) -> None:
         json.dump(plan_to_dict(plan), handle, indent=1)
 
 
-def load_plan(path: str) -> ModelEncryptionPlan:
-    """Read a plan from a JSON file (validates on load)."""
-    with open(path) as handle:
-        return plan_from_dict(json.load(handle))
+def load_plan(path: str, *, quarantine: bool = False) -> ModelEncryptionPlan:
+    """Read a plan from a JSON file (version, checksum and content checked).
+
+    Every failure mode — unreadable file, truncated/garbled JSON, missing
+    fields, checksum or version mismatch — raises
+    :class:`~repro.core.plan.PlanError` naming ``path``.  With
+    ``quarantine=True`` the offending file is first moved aside to
+    ``<path>.quarantine`` (reason in a sidecar) so the slot is free for a
+    regenerated plan while the bad bytes stay inspectable.
+    """
+    try:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise PlanError(f"unreadable plan {path}: {error}") from error
+        if not isinstance(payload, dict):
+            raise PlanError(f"{path} does not hold a plan object")
+        try:
+            return plan_from_dict(payload)
+        except PlanError as error:
+            raise PlanError(f"invalid plan {path}: {error}") from error
+        except (KeyError, TypeError, ValueError) as error:
+            raise PlanError(f"malformed plan {path}: {error!r}") from error
+    except PlanError as error:
+        if quarantine:
+            from ..faults.quarantine import quarantine_artifact
+
+            quarantine_artifact(path, reason=str(error))
+        raise

@@ -37,12 +37,18 @@ class CounterCacheConfig:
         With the split-counter organisation of Yan et al. a 64-byte counter
         block holds one 64-bit major counter plus 64 7-bit minors, covering
         64 cache lines = 4 KB of data.
+    minor_counter_bits:
+        Width of the per-line minor counter.  When a line's minor would
+        wrap, the whole covering block undergoes a *re-encryption event*
+        (major bump: every line re-encrypted under a fresh epoch) — the
+        split-counter design's cost for keeping per-line counters small.
     """
 
     size_bytes: int = 96 * 1024
     block_bytes: int = 64
     associativity: int = 8
     data_bytes_per_counter_block: int = 4096
+    minor_counter_bits: int = 7
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.block_bytes <= 0:
@@ -54,6 +60,8 @@ class CounterCacheConfig:
             raise ValueError(
                 "number of blocks must be a multiple of associativity"
             )
+        if self.minor_counter_bits <= 0:
+            raise ValueError("minor_counter_bits must be positive")
 
     @property
     def num_blocks(self) -> int:
@@ -72,6 +80,10 @@ class CounterCacheStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    #: Re-encryption events (a minor counter wrapped: major bump, whole
+    #: block re-encrypted) and the total lines rewritten by them.
+    reencryptions: int = 0
+    reencrypted_lines: int = 0
 
     @property
     def accesses(self) -> int:
@@ -88,6 +100,8 @@ class CounterCacheStats:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.reencryptions = 0
+        self.reencrypted_lines = 0
 
 
 @dataclass
@@ -150,9 +164,36 @@ class CounterCache:
             cache_set[tag] = line
             hit = False
         if write:
-            line.counters[address] = self.counter_of(address) + 1
+            value = self.counter_of(address) + 1
+            if value % (1 << self.config.minor_counter_bits) == 0:
+                # The line's minor counter wrapped: re-encrypt the whole
+                # block under a fresh epoch, then take the write's bump.
+                value = self._reencrypt_block(block_id, line) + 1
+            line.counters[address] = value
             line.dirty = True
         return hit
+
+    def _reencrypt_block(self, block_id: int, line: _CacheLine) -> int:
+        """Model one re-encryption event for the covering counter block.
+
+        Every tracked line in the block jumps to a common fresh epoch base
+        strictly above all current values — counters never repeat, so pad
+        uniqueness of counter-mode encryption is preserved across the
+        major-counter bump.  Returns the new epoch base.
+        """
+        span = self.config.data_bytes_per_counter_block
+        low, high = block_id * span, (block_id + 1) * span
+        tracked = {a for a in line.counters if low <= a < high}
+        tracked |= {a for a in self._backing if low <= a < high}
+        limit = 1 << self.config.minor_counter_bits
+        top = max((self.counter_of(address) for address in tracked), default=0)
+        base = ((top // limit) + 1) * limit
+        for address in tracked:
+            line.counters[address] = base
+        line.dirty = True
+        self.stats.reencryptions += 1
+        self.stats.reencrypted_lines += len(tracked)
+        return base
 
     def counter_of(self, address: int) -> int:
         """Current architectural counter value for the data line."""

@@ -43,6 +43,7 @@ __all__ = [
     "fig6_pool_layers",
     "fig7_overall_ipc",
     "fig8_latency",
+    "fault_injection",
     "MODEL_NAMES",
 ]
 
@@ -489,3 +490,41 @@ def fig8_latency(
         cache=cache,
     )
     return sweep
+
+
+# ----------------------------------------------------------------------
+# Fault injection (docs/fault-model.md)
+# ----------------------------------------------------------------------
+def fault_injection(
+    model: str = "mlp",
+    *,
+    ratio: float = 0.5,
+    width_scale: float = 0.25,
+    faults_per_class: int = 8,
+    seed: int = 0,
+    max_lines_per_region: int = 24,
+    authenticate: bool = True,
+):
+    """Bus-tampering campaign on one model's SEAL-protected memory image.
+
+    Quantifies the integrity side of smart encryption: 100 % detection of
+    bit flips, splices, replays, counter desyncs and MAC truncation on
+    authenticated encrypted lines versus silent corruption on the
+    plaintext lines the scheme leaves unprotected.  Returns a
+    :class:`~repro.faults.campaign.FaultCampaignResult`; also runnable as
+    ``python -m repro faults`` and benchmarked by
+    ``benchmarks/bench_fault_injection.py``.
+    """
+    from ..faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+    return run_fault_campaign(
+        FaultCampaignConfig(
+            model=model,
+            ratio=ratio,
+            width_scale=width_scale,
+            faults_per_class=faults_per_class,
+            seed=seed,
+            max_lines_per_region=max_lines_per_region,
+            authenticate=authenticate,
+        )
+    )

@@ -1,0 +1,142 @@
+"""Environment-driven fault injection for worker processes ("chaos hooks").
+
+The hardened runners in :mod:`repro.sim.parallel` and
+:mod:`repro.attacks.sweep` claim to survive worker crashes, hangs and
+poisoned units — claims that are untestable unless something can *cause*
+those failures deterministically.  This module is that something: pool
+workers call :func:`chaos_probe` with their unit's key and label, and when
+the ``REPRO_CHAOS`` environment variable selects that unit the probe
+raises, hard-exits, or hangs the worker on purpose.
+
+The hook is a no-op unless ``REPRO_CHAOS`` is set (one dict lookup on the
+hot path), so production runs pay nothing.  The variable holds JSON::
+
+    REPRO_CHAOS='{"crash": ["black-box"], "sentinel_dir": "/tmp/chaos"}'
+
+Fields (all optional):
+
+``fail``
+    Unit labels/key-prefixes whose worker raises :class:`ChaosFault`
+    (a poisoned unit: the process survives, the task fails).
+``crash``
+    Units whose worker calls ``os._exit`` (a hard crash: the pool breaks).
+``hang``
+    Units whose worker sleeps ``hang_seconds`` (default 3600 — far past
+    any sane per-unit timeout).
+``once`` (default ``true``)
+    Fire each fault only the first time its unit runs, recorded through a
+    sentinel file in ``sentinel_dir``; the retried attempt then succeeds.
+    Without a ``sentinel_dir`` the fault fires on *every* attempt.
+``sentinel_dir``
+    Directory for the once-markers (created on demand).  Environment
+    variables are inherited by pool workers under every start method, so
+    the marker directory is the only cross-process state needed.
+``exit_code`` (default 13)
+    Status for the ``crash`` action.
+
+A unit is selected when a configured pattern equals its label or is a
+prefix of its hexadecimal key; malformed JSON disables chaos entirely
+rather than breaking the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CHAOS_ENV_VAR", "ChaosFault", "ChaosConfig", "chaos_probe"]
+
+#: Environment variable read by :func:`chaos_probe`.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+class ChaosFault(RuntimeError):
+    """Deliberate failure injected into a worker by :func:`chaos_probe`."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` specification."""
+
+    fail: tuple[str, ...] = ()
+    crash: tuple[str, ...] = ()
+    hang: tuple[str, ...] = ()
+    hang_seconds: float = 3600.0
+    once: bool = True
+    sentinel_dir: str | None = None
+    exit_code: int = 13
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> "ChaosConfig | None":
+        """The active configuration, ``None`` when chaos is disabled.
+
+        Malformed JSON or wrong field types disable chaos (returning
+        ``None``) instead of raising: an injection harness must never be
+        able to break the system it is probing by misconfiguration alone.
+        """
+        spec = (environ if environ is not None else os.environ).get(CHAOS_ENV_VAR)
+        if not spec:
+            return None
+        try:
+            payload = json.loads(spec)
+            if not isinstance(payload, dict):
+                return None
+            return cls(
+                fail=tuple(str(p) for p in payload.get("fail", ())),
+                crash=tuple(str(p) for p in payload.get("crash", ())),
+                hang=tuple(str(p) for p in payload.get("hang", ())),
+                hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+                once=bool(payload.get("once", True)),
+                sentinel_dir=payload.get("sentinel_dir"),
+                exit_code=int(payload.get("exit_code", 13)),
+            )
+        except (ValueError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    def _matches(self, patterns: tuple[str, ...], key: str, label: str) -> str | None:
+        for pattern in patterns:
+            if pattern and (pattern == label or key.startswith(pattern)):
+                return pattern
+        return None
+
+    def _should_fire(self, action: str, pattern: str) -> bool:
+        """One-shot bookkeeping: True if this (action, pattern) still owes
+        a fault.  The sentinel is written *before* the fault fires, so even
+        ``os._exit`` cannot double-fire."""
+        if not (self.once and self.sentinel_dir):
+            return True
+        marker = hashlib.sha256(f"{action}:{pattern}".encode()).hexdigest()[:16]
+        sentinel = Path(self.sentinel_dir) / f"chaos.{action}.{marker}"
+        if sentinel.exists():
+            return False
+        sentinel.parent.mkdir(parents=True, exist_ok=True)
+        sentinel.touch()
+        return True
+
+
+def chaos_probe(key: str, label: str = "") -> None:
+    """Fault-injection point for pool workers; no-op unless configured.
+
+    Checks, in order: ``fail`` (raise :class:`ChaosFault`), ``crash``
+    (``os._exit``), ``hang`` (sleep).  Call this before doing the unit's
+    real work so an injected fault costs nothing but the fault itself.
+    """
+    if not os.environ.get(CHAOS_ENV_VAR):
+        return
+    config = ChaosConfig.from_env()
+    if config is None:
+        return
+    pattern = config._matches(config.fail, key, label)
+    if pattern is not None and config._should_fire("fail", pattern):
+        raise ChaosFault(f"injected failure for unit {label or key!r}")
+    pattern = config._matches(config.crash, key, label)
+    if pattern is not None and config._should_fire("crash", pattern):
+        os._exit(config.exit_code)
+    pattern = config._matches(config.hang, key, label)
+    if pattern is not None and config._should_fire("hang", pattern):
+        time.sleep(config.hang_seconds)

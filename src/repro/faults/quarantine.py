@@ -1,0 +1,48 @@
+"""Quarantine for corrupt on-disk artifacts.
+
+The checkpoint store (:mod:`repro.attacks.sweep`) and the plan loader
+(:mod:`repro.core.serialize`) both read JSON artifacts that a crash, a
+partial copy, or a version skew can leave unusable.  Deleting such a file
+destroys the evidence; leaving it in place makes every subsequent run trip
+over it again.  :func:`quarantine_artifact` takes the third path: the file
+is atomically renamed to ``<name>.quarantine`` (with a numeric suffix if a
+previous quarantine already claimed that name) and the reason is written
+next to it, so the original slot is free for recomputation while the bad
+bytes stay inspectable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["QUARANTINE_SUFFIX", "quarantine_artifact"]
+
+#: Suffix appended to quarantined artifact file names.
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+def quarantine_artifact(
+    path: str | Path, *, reason: str = "", suffix: str = QUARANTINE_SUFFIX
+) -> Path | None:
+    """Move ``path`` aside as ``<path><suffix>`` and return the new location.
+
+    Returns ``None`` when ``path`` does not exist (nothing to quarantine).
+    The move is a same-directory :func:`os.replace`, so it is atomic on
+    POSIX filesystems; if the quarantine name is already taken, a numeric
+    suffix (``.quarantine.1`` …) keeps earlier evidence intact.  When a
+    ``reason`` is given it is written to ``<quarantined>.reason`` so a
+    later investigation does not have to re-derive why the file was bad.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    target = path.with_name(path.name + suffix)
+    attempt = 0
+    while target.exists():
+        attempt += 1
+        target = path.with_name(f"{path.name}{suffix}.{attempt}")
+    os.replace(path, target)
+    if reason:
+        target.with_name(target.name + ".reason").write_text(reason + "\n")
+    return target

@@ -1,0 +1,327 @@
+"""Hardened unit execution: timeouts, bounded retry, crash isolation.
+
+:func:`repro.sim.parallel.run_units` and :func:`repro.attacks.sweep
+.run_sweep` both fan independent, content-keyed units over a process pool.
+Before this module they shared the pool's failure modes too: one raising
+worker surfaced as a bare traceback with no unit named, a crashed worker
+(``BrokenProcessPool``) aborted every in-flight unit, and a hung worker
+stalled the run forever.  :func:`run_hardened` is the shared execution
+layer that fixes all three:
+
+* **named failures** — any unit that fails permanently is reported as a
+  :class:`UnitExecutionError` carrying the unit's cache key and label, so
+  the operator knows exactly which checkpoint/cache entry to look at;
+* **bounded retry with deterministic backoff** — :class:`RetryPolicy`
+  grants each unit ``max_attempts`` tries with ``backoff_seconds ×
+  backoff_factor^(attempt-1)`` pauses (no jitter: identical runs retry at
+  identical offsets);
+* **per-unit timeout** — a unit running past ``timeout_seconds`` is
+  killed (the pool is torn down and rebuilt; queued units are resubmitted
+  without being charged an attempt);
+* **crash isolation** — a worker that dies rebuilds the pool and only the
+  units that were in flight are charged; a *poisoned* unit (one that
+  fails on every attempt) fails alone, after every other unit has
+  completed and been delivered through ``on_result`` — which is what lets
+  callers checkpoint the survivors before the error propagates.
+
+Counters land in the caller's metrics registry under a shared prefix
+(default ``runner``): ``runner.attempts``, ``runner.retries``,
+``runner.failures``, ``runner.timeouts``, ``runner.crashes``,
+``runner.pool_restarts``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..obs.metrics import MetricsRegistry, get_metrics
+
+__all__ = ["RetryPolicy", "UnitExecutionError", "run_hardened"]
+
+#: Poll interval (seconds) for the pool loop when a timeout is armed.
+_TICK_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a unit poisoned.
+
+    The default policy preserves the historical behaviour — one attempt,
+    no timeout — so hardening is opt-in per call site; crash isolation and
+    named failures apply regardless.
+    """
+
+    max_attempts: int = 1
+    timeout_seconds: float | None = None
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive (or None)")
+        if self.backoff_seconds < 0 or self.backoff_factor <= 0:
+            raise ValueError("backoff must be non-negative, factor positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic pause before retry number ``attempt`` (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+class UnitExecutionError(RuntimeError):
+    """A unit failed permanently; the unit's cache key names the culprit.
+
+    ``kind`` is ``"error"`` (the worker raised), ``"timeout"`` (the worker
+    exceeded the per-unit budget) or ``"crash"`` (the worker process
+    died).  ``more_failures`` lists any further units that also failed in
+    the same run — everything else completed and was delivered.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        label: str,
+        attempts: int,
+        kind: str,
+        cause: BaseException | None = None,
+        more_failures: Sequence["UnitExecutionError"] = (),
+    ) -> None:
+        self.key = key
+        self.label = label
+        self.attempts = attempts
+        self.kind = kind
+        self.cause = cause
+        self.more_failures = tuple(more_failures)
+        message = (
+            f"unit {label or key!r} (key {key[:16]}) failed after "
+            f"{attempts} attempt(s) [{kind}]"
+        )
+        if cause is not None:
+            message += f": {cause!r}"
+        if self.more_failures:
+            others = ", ".join(f.label or f.key[:16] for f in self.more_failures)
+            message += f" (+{len(self.more_failures)} more failed unit(s): {others})"
+        super().__init__(message)
+
+
+@dataclass
+class _Failure:
+    key: str
+    label: str
+    attempts: int
+    kind: str
+    cause: BaseException | None
+
+
+_FAILURE_COUNTERS = {"error": "failures", "timeout": "timeouts", "crash": "crashes"}
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if its workers are hung or dead.
+
+    ``shutdown(wait=False, cancel_futures=True)`` drains the queue, then
+    any worker still alive (a hung unit) is terminated and, failing that,
+    killed — reclaiming the pool's slots is what makes a per-unit timeout
+    an isolation boundary rather than a cosmetic error message.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=2.0)
+
+
+def run_hardened(
+    worker: Callable,
+    todo: Sequence[tuple[str, str, object]],
+    *,
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    metrics: MetricsRegistry | None = None,
+    prefix: str = "runner",
+    on_result: Callable[[str, object, object], None] | None = None,
+) -> dict[str, object]:
+    """Execute ``worker(item)`` for every ``(key, label, item)`` in ``todo``.
+
+    Returns ``{key: result}``.  ``on_result(key, item, result)`` fires the
+    moment each unit completes (checkpoint/cache hook) — including for
+    units that complete before some other unit fails permanently.  With
+    ``jobs == 1`` everything runs inline in this process (no timeout
+    enforcement — there is no second process to preempt from); otherwise a
+    :class:`~concurrent.futures.ProcessPoolExecutor` is used and
+    ``worker`` and the items must be picklable.
+
+    Raises :class:`UnitExecutionError` for the first permanently-failed
+    unit (others attached via ``more_failures``) only after every
+    remaining unit has been driven to completion.
+    """
+    policy = policy or RetryPolicy()
+    metrics = metrics if metrics is not None else get_metrics()
+    failures: list[_Failure] = []
+    results: dict[str, object] = {}
+    items = {key: item for key, _, item in todo}
+    labels = {key: label for key, label, _ in todo}
+
+    def deliver(key: str, value: object) -> None:
+        results[key] = value
+        if on_result is not None:
+            on_result(key, items[key], value)
+
+    def attempt_failed(key: str, attempts: int, kind: str, cause: BaseException | None) -> bool:
+        """Record one failed attempt; True if the unit may retry."""
+        metrics.count(f"{prefix}.{_FAILURE_COUNTERS[kind]}")
+        if attempts < policy.max_attempts:
+            metrics.count(f"{prefix}.retries")
+            return True
+        failures.append(_Failure(key, labels[key], attempts, kind, cause))
+        return False
+
+    if jobs <= 1 or len(todo) == 1:
+        for key, _, item in todo:
+            attempts = 0
+            while True:
+                attempts += 1
+                metrics.count(f"{prefix}.attempts")
+                try:
+                    value = worker(item)
+                except Exception as error:  # noqa: BLE001 — wrapped below
+                    if attempt_failed(key, attempts, "error", error):
+                        time.sleep(policy.backoff(attempts))
+                        continue
+                    break
+                deliver(key, value)
+                break
+    else:
+        _run_pool(
+            worker,
+            todo,
+            jobs=jobs,
+            policy=policy,
+            metrics=metrics,
+            prefix=prefix,
+            deliver=deliver,
+            attempt_failed=attempt_failed,
+        )
+
+    if failures:
+        errors = [
+            UnitExecutionError(f.key, f.label, f.attempts, f.kind, f.cause)
+            for f in failures
+        ]
+        first = failures[0]
+        raise UnitExecutionError(
+            first.key, first.label, first.attempts, first.kind, first.cause,
+            more_failures=errors[1:],
+        )
+    return results
+
+
+def _run_pool(
+    worker: Callable,
+    todo: Sequence[tuple[str, str, object]],
+    *,
+    jobs: int,
+    policy: RetryPolicy,
+    metrics: MetricsRegistry,
+    prefix: str,
+    deliver: Callable[[str, object], None],
+    attempt_failed: Callable[[str, int, str, BaseException | None], bool],
+) -> None:
+    items = {key: item for key, _, item in todo}
+    attempts: dict[str, int] = {key: 0 for key, _, _ in todo}
+    workers = min(jobs, len(todo))
+    pool = ProcessPoolExecutor(max_workers=workers)
+    running: dict[Future, tuple[str, float]] = {}
+    retry_at: list[tuple[float, str, bool]] = []  # (release time, key, charge)
+
+    def submit(key: str, *, charge: bool = True) -> None:
+        nonlocal pool
+        if charge:
+            attempts[key] += 1
+            metrics.count(f"{prefix}.attempts")
+        try:
+            future = pool.submit(worker, items[key])
+        except BrokenProcessPool:
+            # The pool died between iterations.  Requeue this key (already
+            # charged) and rebuild immediately if no in-flight future is
+            # left to trigger the rebuild path for us.
+            retry_at.append((time.monotonic() + _TICK_SECONDS, key, False))
+            if not running:
+                _shutdown_pool(pool)
+                metrics.count(f"{prefix}.pool_restarts")
+                pool = ProcessPoolExecutor(max_workers=workers)
+            return
+        running[future] = (key, time.monotonic())
+
+    def handle_attempt_failure(key: str, kind: str, cause: BaseException | None) -> None:
+        if attempt_failed(key, attempts[key], kind, cause):
+            retry_at.append((time.monotonic() + policy.backoff(attempts[key]), key, True))
+
+    try:
+        for key, _, _ in todo:
+            submit(key)
+        while running or retry_at:
+            now = time.monotonic()
+            due = [(key, charge) for release, key, charge in retry_at if release <= now]
+            retry_at = [entry for entry in retry_at if entry[0] > now]
+            for key, charge in due:
+                submit(key, charge=charge)
+            if not running:
+                if retry_at:
+                    time.sleep(max(0.0, min(r for r, _, _ in retry_at) - now))
+                continue
+
+            wait_timeout: float | None = None
+            if policy.timeout_seconds is not None or retry_at:
+                wait_timeout = _TICK_SECONDS
+            done, _ = wait(set(running), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in done:
+                key, _started = running.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as error:
+                    pool_broken = True
+                    handle_attempt_failure(key, "crash", error)
+                except Exception as error:  # noqa: BLE001 — wrapped per unit
+                    handle_attempt_failure(key, "error", error)
+                else:
+                    deliver(key, value)
+
+            if policy.timeout_seconds is not None:
+                now = time.monotonic()
+                for future in list(running):
+                    key, started = running[future]
+                    if future.running() and now - started >= policy.timeout_seconds:
+                        del running[future]
+                        future.cancel()
+                        pool_broken = True  # worker must be killed to reclaim the slot
+                        handle_attempt_failure(key, "timeout", None)
+
+            if pool_broken:
+                # The executor is unreliable (dead or deliberately killed
+                # workers): rebuild it and resubmit the innocents — units
+                # whose attempt we aborted are not charged a new one.
+                innocents = []
+                for future, (key, _started) in list(running.items()):
+                    future.cancel()
+                    innocents.append(key)
+                running.clear()
+                _shutdown_pool(pool)
+                metrics.count(f"{prefix}.pool_restarts")
+                pool = ProcessPoolExecutor(max_workers=workers)
+                for key in innocents:
+                    submit(key, charge=False)
+    finally:
+        _shutdown_pool(pool)

@@ -1,0 +1,384 @@
+"""Bus-tampering harness: active attacks on the encrypt/MAC pipeline.
+
+The repo has modelled the *performance* of authenticated memory encryption
+since the `[24]` extension (:class:`repro.crypto.mac.LineAuthenticator`,
+the ``authenticate`` path of :class:`repro.sim.memctrl.MemoryController`)
+— but never an *adversary who writes to the bus*.  This module supplies
+the functional half of that threat: a SEAL-protected model blob laid out
+line by line (:class:`ProtectedImage`), and a :class:`TamperingBus` that
+stores each line exactly as DRAM would — ciphertext + truncated GMAC tag +
+counter-block copy for ``emalloc`` lines, raw bytes for ``malloc`` lines —
+and exposes the tampering primitives a physical adversary has:
+
+* :meth:`~TamperingBus.flip_bits` — single/multi-bit ciphertext flips
+  (counter-mode is XOR-malleable: flipping ciphertext bit *i* flips
+  plaintext bit *i*, which is precisely why encryption alone gives no
+  integrity);
+* :meth:`~TamperingBus.splice` — relocating one line's (ciphertext, tag)
+  to another address;
+* :meth:`~TamperingBus.replay` — restoring a stale, internally consistent
+  (ciphertext, counter, tag) triple from an earlier write;
+* :meth:`~TamperingBus.desync_counter` — corrupting the DRAM counter copy;
+* :meth:`~TamperingBus.truncate_tag` — shearing bytes off the stored MAC.
+
+Trust model (matching Yan et al. [24] and the integrity-tree NPU designs
+in PAPERS.md): the *verifier's* counter state is rooted on chip — the
+counter cache plus, architecturally, a tree over the counter blocks — so
+:meth:`~TamperingBus.read` decrypts and verifies against the trusted
+counter.  Detection of a tampered encrypted line therefore means either a
+tag mismatch or a counter-copy desync.  Plaintext (``malloc``) lines carry
+no tag and no counter: every fault on them is silent by construction —
+the integrity gap :mod:`repro.faults.campaign` quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..crypto.mac import MAC_BYTES, LineAuthenticator
+from ..crypto.modes import CounterModeEncryptor
+
+__all__ = [
+    "LINE_BYTES",
+    "SecureLine",
+    "ProtectedImage",
+    "ReadOutcome",
+    "TamperError",
+    "TamperingBus",
+]
+
+#: Memory-access granularity of the modelled GDDR5 system (one bus line).
+LINE_BYTES = 128
+
+
+class TamperError(ValueError):
+    """An injection primitive was applied where it cannot operate."""
+
+
+@dataclass(frozen=True)
+class SecureLine:
+    """One bus line of the protected image: address, criticality, golden
+    plaintext (``line_bytes`` long, zero-padded)."""
+
+    address: int
+    encrypted: bool
+    plaintext: bytes
+    region: str = ""
+
+
+@dataclass
+class ProtectedImage:
+    """A model blob as it sits in accelerator DRAM, line by line."""
+
+    model_name: str
+    ratio: float
+    lines: list[SecureLine]
+    line_bytes: int = LINE_BYTES
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for line in self.lines:
+            if len(line.plaintext) != self.line_bytes:
+                raise TamperError(
+                    f"line 0x{line.address:x} holds {len(line.plaintext)} bytes, "
+                    f"expected {self.line_bytes}"
+                )
+            if line.address in seen:
+                raise TamperError(f"duplicate line address 0x{line.address:x}")
+            seen.add(line.address)
+
+    @property
+    def encrypted_addresses(self) -> list[int]:
+        return [line.address for line in self.lines if line.encrypted]
+
+    @property
+    def plaintext_addresses(self) -> list[int]:
+        return [line.address for line in self.lines if not line.encrypted]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scheme(
+        cls,
+        scheme,
+        *,
+        line_bytes: int = LINE_BYTES,
+        max_lines_per_region: int | None = None,
+    ) -> "ProtectedImage":
+        """Lay a :class:`~repro.core.seal.SealScheme`'s weights out in DRAM.
+
+        Uses the scheme's real ``emalloc``/``malloc`` layout: per layer,
+        the plan's encrypted kernel rows are packed into the encrypted
+        allocation and the remaining rows into the plaintext one, exactly
+        as the runtime ships the model.  ``max_lines_per_region`` bounds
+        the image (functional crypto in pure Python is slow); truncation
+        keeps the leading lines of each region, which preserves the
+        encrypted/plaintext mix.
+        """
+        _, layouts = scheme.layout()
+        named = dict(scheme.model.named_parameters())
+        masks = scheme.plan.weight_masks()
+        lines: list[SecureLine] = []
+        for layer, layout in zip(scheme.plan.layers, layouts):
+            weights = named[f"{layer.name}.weight"].data
+            mask = masks[layer.name]
+            for allocation, selector in (
+                (layout.encrypted_weights, mask),
+                (layout.plain_weights, ~mask),
+            ):
+                if allocation is None:
+                    continue
+                blob = np.ascontiguousarray(
+                    weights[selector], dtype=np.float32
+                ).tobytes()[: allocation.size]
+                count = -(-len(blob) // line_bytes)
+                if max_lines_per_region is not None:
+                    count = min(count, max_lines_per_region)
+                for index in range(count):
+                    chunk = blob[index * line_bytes : (index + 1) * line_bytes]
+                    chunk += bytes(line_bytes - len(chunk))
+                    lines.append(
+                        SecureLine(
+                            address=allocation.address + index * line_bytes,
+                            encrypted=allocation.encrypted,
+                            plaintext=chunk,
+                            region=allocation.name,
+                        )
+                    )
+        return cls(scheme.plan.model_name, scheme.ratio, lines, line_bytes)
+
+    @classmethod
+    def synthetic(
+        cls,
+        n_lines: int = 64,
+        ratio: float = 0.5,
+        *,
+        seed: int = 0,
+        line_bytes: int = LINE_BYTES,
+        base_address: int = 0x1000_0000,
+    ) -> "ProtectedImage":
+        """A plan-free image with ``round(n_lines * ratio)`` encrypted lines
+        of deterministic random content — fast enough for property tests."""
+        if n_lines <= 0:
+            raise TamperError("n_lines must be positive")
+        rng = random.Random(seed)
+        n_encrypted = round(n_lines * ratio)
+        lines = [
+            SecureLine(
+                address=base_address + index * line_bytes,
+                encrypted=index < n_encrypted,
+                plaintext=rng.randbytes(line_bytes),
+                region="synthetic.enc" if index < n_encrypted else "synthetic.plain",
+            )
+            for index in range(n_lines)
+        ]
+        return cls("synthetic", ratio, lines, line_bytes)
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """What the memory controller delivers for one line read.
+
+    ``authenticated`` is ``True``/``False`` for encrypted lines under
+    authentication (``False`` = tamper detected, the controller would
+    fault), and ``None`` where no MAC exists to check — plaintext lines,
+    or authentication disabled.  ``corrupted`` compares the delivered data
+    against the golden plaintext.
+    """
+
+    address: int
+    encrypted: bool
+    data: bytes
+    authenticated: bool | None
+    corrupted: bool
+
+    @property
+    def detected(self) -> bool:
+        return self.authenticated is False
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Corrupted data delivered without any integrity signal."""
+        return self.corrupted and not self.detected
+
+
+@dataclass
+class _StoredLine:
+    """Adversary-writable DRAM state of one line."""
+
+    encrypted: bool
+    data: bytes
+    counter: int = 0
+    tag: bytes | None = None
+    history: list[tuple[bytes, int, bytes | None]] = field(default_factory=list)
+
+
+class TamperingBus:
+    """DRAM + bus under adversarial control, wrapped around the real
+    encrypt/MAC pipeline.
+
+    Everything in ``_stored`` — ciphertext, tags, counter-block copies —
+    is fair game for the injection primitives.  The trusted on-chip state
+    (the verifier's counters, the golden plaintext used to judge
+    corruption) is not.
+    """
+
+    def __init__(
+        self,
+        image: ProtectedImage,
+        *,
+        key: bytes = bytes(range(16)),
+        mac_key: bytes | None = None,
+        tag_bytes: int = MAC_BYTES,
+        authenticate: bool = True,
+    ) -> None:
+        self.image = image
+        self._encryptor = CounterModeEncryptor(key)
+        self._auth = (
+            LineAuthenticator(mac_key or bytes(b ^ 0xA5 for b in key), tag_bytes)
+            if authenticate
+            else None
+        )
+        self._golden: dict[int, bytes] = {}
+        self._stored: dict[int, _StoredLine] = {}
+        self._trusted: dict[int, int] = {}
+        self._legit: dict[int, tuple[bytes, int, bytes | None]] = {}
+        for line in image.lines:
+            self._golden[line.address] = line.plaintext
+            self._stored[line.address] = _StoredLine(encrypted=line.encrypted, data=b"")
+            self._trusted[line.address] = 0
+            self.write(line.address, line.plaintext)
+
+    # ------------------------------------------------------------------
+    # Legitimate controller paths
+    # ------------------------------------------------------------------
+    def _line(self, address: int) -> _StoredLine:
+        try:
+            return self._stored[address]
+        except KeyError:
+            raise TamperError(f"no line at address 0x{address:x}") from None
+
+    def write(self, address: int, plaintext: bytes) -> None:
+        """Controller write-back: fresh counter, encrypt, tag, store."""
+        stored = self._line(address)
+        if len(plaintext) != self.image.line_bytes:
+            raise TamperError(
+                f"write of {len(plaintext)} bytes to a {self.image.line_bytes}-byte line"
+            )
+        if stored.data:
+            stored.history.append((stored.data, stored.counter, stored.tag))
+        self._golden[address] = plaintext
+        if not stored.encrypted:
+            stored.data = plaintext
+            self._legit[address] = (plaintext, 0, None)
+            return
+        counter = self._trusted[address] + 1
+        self._trusted[address] = counter
+        ciphertext = self._encryptor.encrypt_line(address, counter, plaintext)
+        tag = self._auth.tag(address, counter, ciphertext) if self._auth else None
+        stored.data = ciphertext
+        stored.counter = counter
+        stored.tag = tag
+        self._legit[address] = (ciphertext, counter, tag)
+
+    def refresh(self, address: int) -> None:
+        """Legitimate re-write of the current content (a write-back or a
+        re-encryption epoch) — advances the counter and grows the replay
+        history without changing the golden plaintext."""
+        self.write(address, self._golden[address])
+
+    def read(self, address: int) -> ReadOutcome:
+        """Controller read: decrypt with the trusted counter, verify the
+        stored tag, compare against golden content."""
+        stored = self._line(address)
+        golden = self._golden[address]
+        if not stored.encrypted:
+            return ReadOutcome(
+                address=address,
+                encrypted=False,
+                data=stored.data,
+                authenticated=None,
+                corrupted=stored.data != golden,
+            )
+        trusted = self._trusted[address]
+        data = self._encryptor.decrypt_line(address, trusted, stored.data)
+        authenticated: bool | None = None
+        if self._auth is not None:
+            authenticated = stored.counter == trusted and self._auth.verify(
+                address, stored.counter, stored.data, stored.tag or b""
+            )
+        return ReadOutcome(
+            address=address,
+            encrypted=True,
+            data=data,
+            authenticated=authenticated,
+            corrupted=data != golden,
+        )
+
+    # ------------------------------------------------------------------
+    # Adversary primitives (mutate DRAM-side state only)
+    # ------------------------------------------------------------------
+    def flip_bits(self, address: int, bit_indexes: Iterable[int]) -> None:
+        """Flip the given bit positions of the stored (cipher)text."""
+        stored = self._line(address)
+        data = bytearray(stored.data)
+        for bit in bit_indexes:
+            if not 0 <= bit < len(data) * 8:
+                raise TamperError(f"bit index {bit} outside the line")
+            data[bit // 8] ^= 1 << (bit % 8)
+        stored.data = bytes(data)
+
+    def splice(self, source: int, target: int) -> None:
+        """Copy the stored (data, counter copy, tag) from ``source`` over
+        ``target`` — the classic line-relocation attack."""
+        src = self._line(source)
+        dst = self._line(target)
+        dst.data = src.data
+        dst.counter = src.counter
+        dst.tag = src.tag
+
+    def replay(self, address: int, generation: int = -1) -> None:
+        """Restore a stale write: the (ciphertext, counter, tag) triple is
+        internally consistent, only no longer fresh."""
+        stored = self._line(address)
+        if not stored.history:
+            raise TamperError(
+                f"no stale generation to replay at 0x{address:x} "
+                "(the line was written only once; call refresh() first)"
+            )
+        data, counter, tag = stored.history[generation]
+        stored.data = data
+        stored.counter = counter
+        stored.tag = tag
+
+    def desync_counter(self, address: int, delta: int = 1) -> None:
+        """Corrupt the DRAM counter-block copy for this line."""
+        stored = self._line(address)
+        if not stored.encrypted:
+            raise TamperError(f"plaintext line 0x{address:x} has no counter")
+        stored.counter += delta
+
+    def truncate_tag(self, address: int, keep_bytes: int = 4) -> None:
+        """Shear the stored MAC down to ``keep_bytes`` bytes."""
+        stored = self._line(address)
+        if stored.tag is None:
+            raise TamperError(f"line 0x{address:x} carries no tag to truncate")
+        stored.tag = stored.tag[:keep_bytes]
+
+    def restore(self, address: int) -> None:
+        """Undo tampering: put the last *legitimate* write back in DRAM."""
+        stored = self._line(address)
+        data, counter, tag = self._legit[address]
+        stored.data = data
+        stored.counter = counter
+        stored.tag = tag
+
+    # ------------------------------------------------------------------
+    def sweep(self, addresses: Sequence[int] | None = None) -> list[ReadOutcome]:
+        """Read every (or the given) line — the false-positive baseline."""
+        if addresses is None:
+            addresses = [line.address for line in self.image.lines]
+        return [self.read(address) for address in addresses]

@@ -146,6 +146,16 @@ class MetricsRegistry:
         queries = counters.get("attack.queries")
         if queries and cell and cell["count"]:
             derived["queries_per_cell"] = queries / cell["count"]
+        injected = counters.get("faults.injected")
+        if injected:
+            derived["fault_detection_rate"] = (
+                counters.get("faults.detected", 0) / injected
+            )
+        attempts = counters.get("runner.attempts")
+        if attempts:
+            derived["runner_retry_rate"] = (
+                counters.get("runner.retries", 0) / attempts
+            )
         return {
             "schema": METRICS_SCHEMA,
             "counters": counters,

@@ -31,12 +31,12 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from ..core.keys import canonical_encode, content_key
 from ..core.memory import SecureHeap
 from ..core.plan import LayerTraffic
+from ..faults import CHAOS_ENV_VAR, RetryPolicy, chaos_probe, run_hardened
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
 from .config import GpuConfig
 from .gpu import GpuSimulator, SimResult
@@ -193,8 +193,13 @@ def _pool_worker(unit: SimUnit) -> tuple[SimResult, dict[str, object]]:
     """Worker entry point: simulate and return (result, metrics snapshot).
 
     Each task records into a fresh registry so the parent can merge worker
-    instrumentation without double counting across pool task reuse.
+    instrumentation without double counting across pool task reuse.  The
+    chaos probe lets the fault-injection suite crash/hang/fail a chosen
+    unit (no-op unless ``REPRO_CHAOS`` is set; the key hash is skipped on
+    the production path).
     """
+    if os.environ.get(CHAOS_ENV_VAR):
+        chaos_probe(unit.key(), unit.label)
     local = MetricsRegistry()
     previous = set_metrics(local)
     try:
@@ -219,6 +224,7 @@ def run_units(
     jobs: int | None = 1,
     cache: SimulationCache | None | bool = None,
     metrics: MetricsRegistry | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[SimResult]:
     """Execute simulation units, deduplicated and (optionally) in parallel.
 
@@ -228,6 +234,12 @@ def run_units(
     call through ``cache``) are not re-simulated; their stored result is
     re-labelled with the unit's own label.  Per-unit hit/miss counts land
     in ``metrics`` under ``sim.cache.hits`` / ``sim.cache.misses``.
+
+    Execution is hardened (see :mod:`repro.faults.runner`): ``policy``
+    grants per-unit retries and timeouts, a crashed worker only charges the
+    units that were in flight, and a unit that fails permanently raises a
+    :class:`~repro.faults.UnitExecutionError` naming its cache key — after
+    every other unit has completed and been written to ``cache``.
     """
     units = list(units)
     jobs = resolve_jobs(jobs)
@@ -248,23 +260,46 @@ def run_units(
 
     computed: set[str] = set(pending)
     if pending:
-        todo = list(pending.items())
+        todo = [(key, unit.label, unit) for key, unit in pending.items()]
         with metrics.timer("parallel.compute"):
             if jobs == 1 or len(todo) == 1:
-                for key, unit in todo:
+
+                def serial_worker(unit: SimUnit) -> SimResult:
                     with metrics.timer("parallel.unit"):
-                        resolved[key] = simulate_unit(unit)
+                        return simulate_unit(unit)
+
+                def serial_deliver(key: str, unit: object, result: object) -> None:
+                    assert isinstance(result, SimResult)
+                    resolved[key] = result
+                    if store is not None:
+                        store.put(key, result)
+
+                run_hardened(
+                    serial_worker,
+                    todo,
+                    jobs=1,
+                    policy=policy,
+                    metrics=metrics,
+                    on_result=serial_deliver,
+                )
             else:
-                workers = min(jobs, len(todo))
                 metrics.count("parallel.pools")
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = pool.map(_pool_worker, [u for _, u in todo])
-                    for (key, _), (result, snapshot) in zip(todo, outcomes):
-                        resolved[key] = result
-                        metrics.merge(snapshot)
-        if store is not None:
-            for key in computed:
-                store.put(key, resolved[key])
+
+                def pool_deliver(key: str, unit: object, outcome: object) -> None:
+                    result, snapshot = outcome  # type: ignore[misc]
+                    resolved[key] = result
+                    metrics.merge(snapshot)
+                    if store is not None:
+                        store.put(key, result)
+
+                run_hardened(
+                    _pool_worker,
+                    todo,
+                    jobs=jobs,
+                    policy=policy,
+                    metrics=metrics,
+                    on_result=pool_deliver,
+                )
 
     first_compute_claimed: set[str] = set()
     merged: list[SimResult] = []

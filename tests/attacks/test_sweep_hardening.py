@@ -1,0 +1,96 @@
+"""Hardened sweep: quarantined checkpoints, killed workers, poisoned cells.
+
+Every scenario must leave the sweep *resumable*: after the fault the
+checkpoint directory plus ``--resume`` reconstructs a result field-for-field
+identical to a clean serial run.  Worker faults are injected with the
+``REPRO_CHAOS`` hooks (inherited by forked pool workers), artifact faults
+by garbling checkpoint files directly.
+"""
+
+import pytest
+
+from repro.attacks.sweep import CheckpointStore, plan_units, run_sweep
+from repro.faults.chaos import CHAOS_ENV_VAR
+from repro.faults.runner import RetryPolicy, UnitExecutionError
+from repro.obs.metrics import MetricsRegistry
+from tests.attacks.test_sweep import tiny_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return tiny_config()
+
+
+@pytest.fixture(scope="module")
+def golden(config):
+    """Clean serial reference run every faulted sweep must reproduce."""
+    return run_sweep(plan_units(config), jobs=1, metrics=MetricsRegistry())
+
+
+def test_corrupt_checkpoint_quarantined_and_recomputed(config, golden, tmp_path):
+    units = plan_units(config)
+    run_sweep(units, jobs=1, checkpoint_dir=tmp_path, metrics=MetricsRegistry())
+    store = CheckpointStore(tmp_path)
+    victim = units[1]
+    path = store.path(victim)
+    path.write_text("{definitely not json")
+
+    metrics = MetricsRegistry()
+    resumed = run_sweep(
+        units, jobs=1, checkpoint_dir=tmp_path, resume=True, metrics=metrics
+    )
+    assert metrics.counter("sweep.checkpoints.corrupt") == 1
+    assert metrics.counter("sweep.checkpoints.quarantined") == 1
+    assert metrics.counter("sweep.cells.resumed") == len(units) - 1
+    assert metrics.counter("sweep.cells.computed") == 1
+    # the evidence was moved aside, not destroyed, with a reason sidecar
+    quarantined = tmp_path / (path.name + ".quarantine")
+    assert quarantined.read_text() == "{definitely not json"
+    assert (tmp_path / (path.name + ".quarantine.reason")).read_text()
+    # the cell was recomputed and re-checkpointed with a valid document
+    assert store.load(victim) == golden.cells[1]
+    assert resumed.cells == golden.cells
+
+
+def test_killed_worker_is_retried_and_matches_golden(
+    config, golden, monkeypatch, tmp_path
+):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        '{"crash": ["black-box"], "sentinel_dir": "%s"}' % tmp_path,
+    )
+    metrics = MetricsRegistry()
+    result = run_sweep(
+        plan_units(config),
+        jobs=2,
+        metrics=metrics,
+        policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+    )
+    # the crash really happened (sentinel written before the kill) ...
+    assert list(tmp_path.glob("chaos.crash.*"))
+    assert metrics.counter("runner.crashes") >= 1
+    assert metrics.counter("runner.pool_restarts") >= 1
+    # ... and the retried sweep is still field-for-field exact
+    assert result.cells == golden.cells
+
+
+def test_poisoned_cell_fails_alone_then_resume_completes(
+    config, golden, monkeypatch, tmp_path
+):
+    units = plan_units(config)
+    # no sentinel_dir: the fault fires on every attempt (a truly bad cell)
+    monkeypatch.setenv(CHAOS_ENV_VAR, '{"fail": ["seal@0.50"]}')
+    with pytest.raises(UnitExecutionError) as excinfo:
+        run_sweep(units, jobs=2, checkpoint_dir=tmp_path, metrics=MetricsRegistry())
+    assert excinfo.value.label == "seal@0.50"
+    # every healthy cell was checkpointed before the failure propagated
+    assert len(list(tmp_path.glob("*.json"))) == len(units) - 1
+
+    monkeypatch.delenv(CHAOS_ENV_VAR)
+    metrics = MetricsRegistry()
+    resumed = run_sweep(
+        units, jobs=1, checkpoint_dir=tmp_path, resume=True, metrics=metrics
+    )
+    assert metrics.counter("sweep.cells.resumed") == len(units) - 1
+    assert metrics.counter("sweep.cells.computed") == 1
+    assert resumed.cells == golden.cells

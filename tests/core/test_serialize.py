@@ -87,3 +87,51 @@ class TestFileIO:
         restored = load_plan(str(path))
         assert restored.model_name == plan.model_name
         assert restored.ratio == plan.ratio
+
+
+class TestCorruptedArtifacts:
+    def test_newer_version_names_the_upgrade_path(self, plan):
+        payload = plan_to_dict(plan)
+        payload["format_version"] = 99
+        with pytest.raises(PlanError, match="newer than the supported"):
+            plan_from_dict(payload)
+
+    def test_checksum_mismatch_rejected(self, plan):
+        payload = plan_to_dict(plan)
+        payload["ratio"] = 0.123  # bit-rot after the checksum was stamped
+        with pytest.raises(PlanError, match="checksum mismatch"):
+            plan_from_dict(payload)
+
+    def test_checksum_covers_nested_content(self, plan):
+        payload = plan_to_dict(plan)
+        payload["layers"][0]["row_mask"][0] = (
+            1 - payload["layers"][0]["row_mask"][0]
+        )
+        with pytest.raises(PlanError, match="checksum"):
+            plan_from_dict(payload)
+
+    def test_checksumless_v1_blob_still_loads(self, plan):
+        # Blobs written before checksums existed must stay readable.
+        payload = plan_to_dict(plan)
+        del payload["checksum"]
+        restored = plan_from_dict(payload)
+        assert restored.model_name == plan.model_name
+
+    def test_load_plan_quarantines_garbled_file(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # truncated write
+        with pytest.raises(PlanError, match="plan"):
+            load_plan(str(path), quarantine=True)
+        assert not path.exists()
+        assert (tmp_path / "plan.json.quarantine").exists()
+        assert (tmp_path / "plan.json.quarantine.reason").read_text()
+
+    def test_load_plan_without_quarantine_leaves_file(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, str(path))
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PlanError):
+            load_plan(str(path))
+        assert path.exists()

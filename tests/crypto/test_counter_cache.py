@@ -125,6 +125,55 @@ class TestCounterSemantics:
         assert cache.counter_of(0x0080) == 2
 
 
+class TestMinorCounterOverflow:
+    @staticmethod
+    def _small(bits: int = 3) -> CounterCache:
+        return CounterCache(CounterCacheConfig(minor_counter_bits=bits))
+
+    def test_rejects_nonpositive_minor_bits(self):
+        with pytest.raises(ValueError):
+            CounterCacheConfig(minor_counter_bits=0)
+
+    def test_overflow_triggers_block_reencryption(self):
+        cache = self._small()
+        for _ in range(7):
+            cache.access(0x0000, write=True)
+        assert cache.stats.reencryptions == 0
+        cache.access(0x0000, write=True)  # 8th write overflows a 3-bit minor
+        assert cache.stats.reencryptions == 1
+
+    def test_overflow_rebases_every_line_in_the_block(self):
+        cache = self._small()
+        cache.access(0x0080, write=True)  # neighbour line, same counter block
+        for _ in range(8):
+            cache.access(0x0000, write=True)
+        assert cache.stats.reencryptions == 1
+        assert cache.stats.reencrypted_lines == 2
+        # both lines jumped to the common epoch base; the triggering write
+        # then advanced past it
+        assert cache.counter_of(0x0080) == 8
+        assert cache.counter_of(0x0000) == 9
+
+    def test_counters_stay_strictly_increasing_across_overflows(self):
+        cache = self._small()
+        last = 0
+        for _ in range(40):
+            cache.access(0x0000, write=True)
+            value = cache.counter_of(0x0000)
+            assert value > last
+            last = value
+        assert cache.stats.reencryptions >= 2
+
+    def test_stats_reset_clears_reencryption_counters(self):
+        cache = self._small()
+        for _ in range(8):
+            cache.access(0x0000, write=True)
+        assert cache.stats.reencryptions == 1
+        cache.stats.reset()
+        assert cache.stats.reencryptions == 0
+        assert cache.stats.reencrypted_lines == 0
+
+
 class TestProperties:
     @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200))
     @settings(max_examples=30, deadline=None)

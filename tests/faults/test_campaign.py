@@ -1,0 +1,96 @@
+"""Fault campaign: reproducibility, the integrity contract, and metrics."""
+
+import pytest
+
+from repro.faults.campaign import (
+    FAULT_CLASSES,
+    PLAINTEXT_FAULT_CLASSES,
+    FaultCampaignConfig,
+    run_fault_campaign,
+)
+from repro.faults.tamper import TamperError
+from repro.obs.metrics import MetricsRegistry
+
+
+def quick(**overrides) -> FaultCampaignConfig:
+    defaults = dict(synthetic_lines=16, faults_per_class=3, seed=0)
+    defaults.update(overrides)
+    return FaultCampaignConfig(**defaults)
+
+
+def test_campaign_is_seed_reproducible():
+    first = run_fault_campaign(quick(), metrics=MetricsRegistry())
+    second = run_fault_campaign(quick(), metrics=MetricsRegistry())
+    assert first.records == second.records
+    assert first.to_dict() == second.to_dict()
+
+
+def test_campaign_meets_the_integrity_contract():
+    result = run_fault_campaign(quick(), metrics=MetricsRegistry())
+    assert result.problems() == []
+    assert result.false_positives == 0
+    assert result.detection_rate("encrypted") == 1.0
+    assert result.silent_rate("plaintext") > 0.0
+    # every class injected on encrypted lines, only the applicable subset
+    # on plaintext lines
+    assert {r.fault for r in result.records if r.target == "encrypted"} == set(
+        FAULT_CLASSES
+    )
+    assert {r.fault for r in result.records if r.target == "plaintext"} == set(
+        PLAINTEXT_FAULT_CLASSES
+    )
+
+
+def test_campaign_counts_into_metrics():
+    metrics = MetricsRegistry()
+    result = run_fault_campaign(quick(), metrics=metrics)
+    assert metrics.counter("faults.injected") == len(result.records)
+    assert metrics.counter("faults.detected") == sum(
+        r.detected for r in result.records
+    )
+    assert metrics.counter("faults.undetected.encrypted") == 0
+    assert metrics.counter("faults.false_positives") == 0
+    assert metrics.counter("faults.silent.plaintext") > 0
+    derived = metrics.snapshot()["derived"]
+    assert 0.0 < derived["fault_detection_rate"] < 1.0
+
+
+def test_without_authentication_the_gap_swallows_everything():
+    result = run_fault_campaign(
+        quick(authenticate=False), metrics=MetricsRegistry()
+    )
+    assert result.detection_rate("encrypted") == 0.0
+    assert result.silent_rate("encrypted") > 0.0
+    # with no authenticator there is no detection contract to violate
+    assert result.problems() == []
+
+
+def test_report_names_the_gap():
+    result = run_fault_campaign(quick(), metrics=MetricsRegistry())
+    report = result.report()
+    for fault in FAULT_CLASSES:
+        assert fault in report
+    assert "integrity gap" in report
+    assert "false positives: 0" in report
+
+
+def test_campaign_needs_lines_of_both_kinds():
+    with pytest.raises(TamperError, match="at least two lines"):
+        run_fault_campaign(
+            quick(synthetic_lines=2, ratio=0.5), metrics=MetricsRegistry()
+        )
+
+
+def test_plan_derived_campaign_holds_the_contract():
+    result = run_fault_campaign(
+        FaultCampaignConfig(
+            model="mlp",
+            width_scale=0.25,
+            faults_per_class=2,
+            max_lines_per_region=4,
+            seed=0,
+        ),
+        metrics=MetricsRegistry(),
+    )
+    assert result.problems() == []
+    assert result.model_name != "synthetic"

@@ -1,0 +1,70 @@
+"""Chaos hooks: env parsing, unit selection, once-semantics, fail action."""
+
+import time
+
+import pytest
+
+from repro.faults.chaos import CHAOS_ENV_VAR, ChaosConfig, ChaosFault, chaos_probe
+
+
+def test_disabled_without_env(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    assert ChaosConfig.from_env() is None
+    chaos_probe("anykey", "anylabel")  # no-op
+
+
+@pytest.mark.parametrize("bad", ["not json", "[1,2]", '"str"', '{"hang_seconds": "x"}'])
+def test_malformed_spec_disables_chaos(bad):
+    assert ChaosConfig.from_env({CHAOS_ENV_VAR: bad}) is None
+
+
+def test_parsing():
+    config = ChaosConfig.from_env(
+        {
+            CHAOS_ENV_VAR: '{"fail": ["a"], "crash": ["b"], "hang": ["c"],'
+            ' "hang_seconds": 1.5, "once": false, "exit_code": 7}'
+        }
+    )
+    assert config.fail == ("a",)
+    assert config.crash == ("b",)
+    assert config.hang == ("c",)
+    assert config.hang_seconds == 1.5
+    assert config.once is False
+    assert config.exit_code == 7
+
+
+def test_fail_action_matches_label_and_key_prefix(monkeypatch):
+    monkeypatch.setenv(CHAOS_ENV_VAR, '{"fail": ["seal@0.50", "abc123"]}')
+    with pytest.raises(ChaosFault, match="seal@0.50"):
+        chaos_probe("ffff", "seal@0.50")
+    with pytest.raises(ChaosFault):
+        chaos_probe("abc123def", "other")  # key prefix
+    chaos_probe("ffff", "white-box")  # unmatched: no-op
+
+
+def test_once_semantics_via_sentinel_dir(monkeypatch, tmp_path):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        '{"fail": ["target"], "sentinel_dir": "%s"}' % tmp_path,
+    )
+    with pytest.raises(ChaosFault):
+        chaos_probe("k", "target")
+    # the sentinel was written before the fault fired: second run is clean
+    chaos_probe("k", "target")
+    assert list(tmp_path.glob("chaos.fail.*"))
+
+
+def test_without_sentinel_dir_fault_fires_every_time(monkeypatch):
+    monkeypatch.setenv(CHAOS_ENV_VAR, '{"fail": ["t"]}')
+    for _ in range(2):
+        with pytest.raises(ChaosFault):
+            chaos_probe("k", "t")
+
+
+def test_hang_action_sleeps(monkeypatch):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR, '{"hang": ["t"], "hang_seconds": 0.05, "once": false}'
+    )
+    start = time.perf_counter()
+    chaos_probe("k", "t")
+    assert time.perf_counter() - start >= 0.05

@@ -1,0 +1,31 @@
+"""Quarantine: atomic move-aside with reason sidecars, evidence preserved."""
+
+from repro.faults.quarantine import quarantine_artifact
+
+
+def test_missing_file_is_a_noop(tmp_path):
+    assert quarantine_artifact(tmp_path / "absent.json") is None
+
+
+def test_move_and_reason_sidecar(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text("{broken")
+    target = quarantine_artifact(path, reason="truncated JSON")
+    assert target == tmp_path / "plan.json.quarantine"
+    assert not path.exists()
+    assert target.read_text() == "{broken"
+    assert "truncated JSON" in (tmp_path / "plan.json.quarantine.reason").read_text()
+
+
+def test_collisions_keep_earlier_evidence(tmp_path):
+    path = tmp_path / "ckpt.json"
+    targets = []
+    for content in ("first", "second", "third"):
+        path.write_text(content)
+        targets.append(quarantine_artifact(path))
+    assert [t.name for t in targets] == [
+        "ckpt.json.quarantine",
+        "ckpt.json.quarantine.1",
+        "ckpt.json.quarantine.2",
+    ]
+    assert [t.read_text() for t in targets] == ["first", "second", "third"]

@@ -1,0 +1,203 @@
+"""Hardened runner: retries, timeouts, crash isolation, named failures.
+
+The pool workers used here are module-level (picklable) and coordinate
+one-shot faults through sentinel files, because a retried attempt runs in
+a different process than the one that failed.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.faults.runner import RetryPolicy, UnitExecutionError, run_hardened
+from repro.obs.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Picklable workers
+# ----------------------------------------------------------------------
+def _double(value):
+    return value * 2
+
+
+def _fail_once(arg):
+    sentinel, value = arg
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        raise RuntimeError("deliberate first-attempt failure")
+    return value
+
+
+def _crash_once(arg):
+    sentinel, value = arg
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(42)
+    return value
+
+
+def _always_fail(value):
+    raise RuntimeError(f"poisoned unit {value}")
+
+
+def _hang_or_return(arg):
+    seconds, value = arg
+    time.sleep(seconds)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Policy validation
+# ----------------------------------------------------------------------
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_seconds=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_seconds=-1)
+    policy = RetryPolicy(max_attempts=3, backoff_seconds=0.1, backoff_factor=2.0)
+    assert [policy.backoff(n) for n in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def test_serial_success_and_delivery_order():
+    delivered = []
+    results = run_hardened(
+        _double,
+        [("a", "first", 1), ("b", "second", 2)],
+        jobs=1,
+        metrics=MetricsRegistry(),
+        on_result=lambda key, item, value: delivered.append((key, value)),
+    )
+    assert results == {"a": 2, "b": 4}
+    assert delivered == [("a", 2), ("b", 4)]
+
+
+def test_serial_retry_recovers(tmp_path):
+    metrics = MetricsRegistry()
+    sentinel = str(tmp_path / "fired")
+    results = run_hardened(
+        _fail_once,
+        [("k", "flaky", (sentinel, 7))],
+        jobs=1,
+        policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        metrics=metrics,
+    )
+    assert results == {"k": 7}
+    assert metrics.counter("runner.attempts") == 2
+    assert metrics.counter("runner.retries") == 1
+    assert metrics.counter("runner.failures") == 1
+
+
+def test_serial_failure_names_the_unit_and_spares_the_rest():
+    metrics = MetricsRegistry()
+    delivered = []
+    with pytest.raises(UnitExecutionError) as excinfo:
+        run_hardened(
+            lambda v: _always_fail(v) if v == "bad" else v,
+            [("good-key", "good", "fine"), ("bad-key-0123456789", "poisoned", "bad")],
+            jobs=1,
+            metrics=metrics,
+            on_result=lambda key, item, value: delivered.append(key),
+        )
+    error = excinfo.value
+    assert error.key.startswith("bad-key")
+    assert error.label == "poisoned"
+    assert error.kind == "error"
+    assert "bad-key" in str(error) and "poisoned" in str(error)
+    # the healthy unit completed and was delivered before the raise
+    assert delivered == ["good-key"]
+
+
+# ----------------------------------------------------------------------
+# Pool path
+# ----------------------------------------------------------------------
+def test_pool_success(tmp_path):
+    results = run_hardened(
+        _double,
+        [(f"k{i}", f"unit{i}", i) for i in range(4)],
+        jobs=2,
+        metrics=MetricsRegistry(),
+    )
+    assert results == {f"k{i}": i * 2 for i in range(4)}
+
+
+def test_pool_crash_is_isolated_and_retried(tmp_path):
+    metrics = MetricsRegistry()
+    sentinel = str(tmp_path / "crashed")
+    todo = [
+        ("crash", "crasher", (sentinel, 1)),
+        ("ok1", "bystander1", (str(tmp_path / "x1"), 2)),
+        ("ok2", "bystander2", (str(tmp_path / "x2"), 3)),
+    ]
+    results = run_hardened(
+        _crash_once,
+        todo,
+        jobs=2,
+        policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        metrics=metrics,
+    )
+    assert results == {"crash": 1, "ok1": 2, "ok2": 3}
+    assert metrics.counter("runner.crashes") >= 1
+    assert metrics.counter("runner.pool_restarts") >= 1
+
+
+def test_pool_poisoned_unit_fails_alone(tmp_path):
+    metrics = MetricsRegistry()
+    delivered = []
+    # pre-fired sentinels: the bystanders succeed on their first attempt
+    (tmp_path / "a").touch()
+    (tmp_path / "b").touch()
+    with pytest.raises(UnitExecutionError) as excinfo:
+        run_hardened(
+            _fail_once,
+            [
+                # missing sentinel dir → _fail_once raises on every attempt
+                ("poison", "poisoned", (str(tmp_path / "nodir" / "x"), 0)),
+                ("ok1", "fine1", (str(tmp_path / "a"), 1)),
+                ("ok2", "fine2", (str(tmp_path / "b"), 2)),
+            ],
+            jobs=2,
+            policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+            metrics=metrics,
+            on_result=lambda key, item, value: delivered.append(key),
+        )
+    assert excinfo.value.key == "poison"
+    assert excinfo.value.attempts == 2
+    assert metrics.counter("runner.retries") == 1
+    assert sorted(delivered) == ["ok1", "ok2"]
+
+
+def test_pool_timeout_kills_the_hung_unit():
+    metrics = MetricsRegistry()
+    delivered = []
+    with pytest.raises(UnitExecutionError) as excinfo:
+        run_hardened(
+            _hang_or_return,
+            [("hang", "hung", (60.0, 0)), ("quick", "quick", (0.0, 5))],
+            jobs=2,
+            policy=RetryPolicy(max_attempts=1, timeout_seconds=0.5),
+            metrics=metrics,
+            on_result=lambda key, item, value: delivered.append((key, value)),
+        )
+    assert excinfo.value.key == "hang"
+    assert excinfo.value.kind == "timeout"
+    assert ("quick", 5) in delivered
+    assert metrics.counter("runner.timeouts") == 1
+
+
+def test_pool_multiple_failures_are_aggregated(tmp_path):
+    with pytest.raises(UnitExecutionError) as excinfo:
+        run_hardened(
+            _always_fail,
+            [("k1", "first", 1), ("k2", "second", 2), ("k3", "third", 3)],
+            jobs=2,
+            metrics=MetricsRegistry(),
+        )
+    assert len(excinfo.value.more_failures) == 2
+    names = {excinfo.value.label} | {f.label for f in excinfo.value.more_failures}
+    assert names == {"first", "second", "third"}

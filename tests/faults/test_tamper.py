@@ -1,0 +1,176 @@
+"""TamperingBus: every fault class on encrypted lines is detected, every
+fault on plaintext lines is silent, and restore() undoes all of it."""
+
+import pytest
+
+from repro.core.seal import SealScheme
+from repro.faults.tamper import (
+    LINE_BYTES,
+    ProtectedImage,
+    SecureLine,
+    TamperError,
+    TamperingBus,
+)
+from repro.nn.layers import set_init_rng
+from repro.nn.models import build_model
+
+
+@pytest.fixture()
+def bus() -> TamperingBus:
+    return TamperingBus(ProtectedImage.synthetic(8, 0.5, seed=3))
+
+
+def enc(bus: TamperingBus) -> int:
+    return bus.image.encrypted_addresses[0]
+
+
+def plain(bus: TamperingBus) -> int:
+    return bus.image.plaintext_addresses[0]
+
+
+# ----------------------------------------------------------------------
+# Clean path
+# ----------------------------------------------------------------------
+def test_untampered_sweep_is_clean(bus):
+    for outcome in bus.sweep():
+        assert not outcome.detected
+        assert not outcome.corrupted
+        assert outcome.data == bus.image.lines[0].plaintext or not outcome.corrupted
+
+
+def test_read_decrypts_to_golden_plaintext(bus):
+    for line in bus.image.lines:
+        assert bus.read(line.address).data == line.plaintext
+
+
+def test_unknown_address_raises(bus):
+    with pytest.raises(TamperError, match="no line"):
+        bus.read(0xDEAD)
+
+
+# ----------------------------------------------------------------------
+# Fault classes on encrypted lines: all detected
+# ----------------------------------------------------------------------
+def test_bit_flip_detected(bus):
+    bus.flip_bits(enc(bus), [5])
+    outcome = bus.read(enc(bus))
+    assert outcome.detected and outcome.corrupted
+
+
+def test_multi_bit_flip_detected(bus):
+    bus.flip_bits(enc(bus), range(0, 64, 7))
+    assert bus.read(enc(bus)).detected
+
+
+def test_splice_detected(bus):
+    a, b = bus.image.encrypted_addresses[:2]
+    bus.splice(a, b)
+    assert bus.read(b).detected
+
+
+def test_replay_detected_and_needs_history(bus):
+    address = enc(bus)
+    with pytest.raises(TamperError, match="refresh"):
+        bus.replay(address)
+    bus.refresh(address)
+    bus.replay(address)
+    outcome = bus.read(address)
+    assert outcome.detected
+
+
+def test_counter_desync_detected(bus):
+    bus.desync_counter(enc(bus), delta=3)
+    outcome = bus.read(enc(bus))
+    assert outcome.detected
+    assert not outcome.corrupted  # data itself untouched — freshness check fires
+
+
+def test_mac_truncation_detected(bus):
+    bus.truncate_tag(enc(bus), keep_bytes=4)
+    outcome = bus.read(enc(bus))
+    assert outcome.detected
+    assert not outcome.corrupted
+
+
+# ----------------------------------------------------------------------
+# Plaintext lines: no integrity whatsoever
+# ----------------------------------------------------------------------
+def test_plaintext_flip_is_silent(bus):
+    bus.flip_bits(plain(bus), [0])
+    outcome = bus.read(plain(bus))
+    assert outcome.authenticated is None
+    assert outcome.corrupted and outcome.silent_corruption
+
+
+def test_plaintext_splice_is_silent(bus):
+    a, b = bus.image.plaintext_addresses[:2]
+    bus.splice(a, b)
+    assert bus.read(b).silent_corruption
+
+
+def test_plaintext_lines_have_no_counter_or_tag(bus):
+    with pytest.raises(TamperError, match="no counter"):
+        bus.desync_counter(plain(bus))
+    with pytest.raises(TamperError, match="no tag"):
+        bus.truncate_tag(plain(bus))
+
+
+# ----------------------------------------------------------------------
+# Restore / no-auth / validation
+# ----------------------------------------------------------------------
+def test_restore_undoes_every_primitive(bus):
+    address = enc(bus)
+    bus.refresh(address)
+    for fault in (
+        lambda: bus.flip_bits(address, [9]),
+        lambda: bus.splice(bus.image.encrypted_addresses[1], address),
+        lambda: bus.replay(address),
+        lambda: bus.desync_counter(address),
+        lambda: bus.truncate_tag(address, keep_bytes=2),
+    ):
+        fault()
+        bus.restore(address)
+        outcome = bus.read(address)
+        assert not outcome.detected and not outcome.corrupted
+
+
+def test_without_authentication_encrypted_faults_go_silent():
+    bus = TamperingBus(ProtectedImage.synthetic(8, 0.5, seed=3), authenticate=False)
+    address = bus.image.encrypted_addresses[0]
+    bus.flip_bits(address, [0])
+    outcome = bus.read(address)
+    assert outcome.authenticated is None
+    assert outcome.corrupted and outcome.silent_corruption
+
+
+def test_bad_write_and_flip_arguments(bus):
+    with pytest.raises(TamperError, match="byte"):
+        bus.write(enc(bus), b"short")
+    with pytest.raises(TamperError, match="outside"):
+        bus.flip_bits(enc(bus), [LINE_BYTES * 8])
+
+
+def test_image_rejects_bad_lines():
+    good = SecureLine(address=0, encrypted=True, plaintext=bytes(LINE_BYTES))
+    with pytest.raises(TamperError, match="bytes"):
+        ProtectedImage("m", 0.5, [SecureLine(0, True, b"short")])
+    with pytest.raises(TamperError, match="duplicate"):
+        ProtectedImage("m", 0.5, [good, good])
+    with pytest.raises(TamperError, match="positive"):
+        ProtectedImage.synthetic(0)
+
+
+# ----------------------------------------------------------------------
+# Plan-derived images
+# ----------------------------------------------------------------------
+def test_from_scheme_uses_real_layout():
+    set_init_rng(0)
+    scheme = SealScheme(build_model("mlp", width_scale=0.25), 0.5)
+    image = ProtectedImage.from_scheme(scheme, max_lines_per_region=4)
+    assert image.encrypted_addresses and image.plaintext_addresses
+    assert all(line.address % LINE_BYTES == 0 for line in image.lines)
+    regions = {line.region for line in image.lines}
+    assert any("emalloc" in region or region for region in regions)
+    # The functional pipeline round-trips the real blob.
+    bus = TamperingBus(image)
+    assert all(not outcome.detected for outcome in bus.sweep())

@@ -10,6 +10,7 @@ import repro.attacks.security
 import repro.attacks.sweep
 import repro.core.keys
 import repro.crypto.aes
+import repro.faults.campaign
 
 
 @pytest.mark.parametrize(
@@ -21,6 +22,7 @@ import repro.crypto.aes
         repro.attacks.sweep,
         repro.core.keys,
         repro.crypto.aes,
+        repro.faults.campaign,
     ],
 )
 def test_module_doctests(module):
