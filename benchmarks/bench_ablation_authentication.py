@@ -38,7 +38,7 @@ def _run(plan, scheme, authenticate):
     return instructions / cycles
 
 
-def test_ablation_authentication(benchmark, record_report):
+def test_ablation_authentication(benchmark, record_report, record_metrics):
     set_init_rng(0)
     plan = ModelEncryptionPlan.build(vgg16(), 0.5)
 
@@ -56,6 +56,7 @@ def test_ablation_authentication(benchmark, record_report):
         ("scheme", "norm IPC (enc)", "norm IPC (enc+auth)", "auth cost"), rows
     )
     record_report("ablation_authentication", report)
+    record_metrics("ablation_authentication", payload={"rows": [list(row) for row in rows]})
 
     by_scheme = {row[0]: row for row in rows}
     for scheme, _, with_auth, cost in rows:

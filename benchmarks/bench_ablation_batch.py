@@ -13,7 +13,7 @@ from repro.nn.models import vgg16
 from repro.sim.runner import run_model
 
 
-def test_ablation_batch_size(benchmark, record_report):
+def test_ablation_batch_size(benchmark, record_report, record_metrics):
     set_init_rng(0)
     plan = ModelEncryptionPlan.build(vgg16(), 0.5)
 
@@ -38,6 +38,7 @@ def test_ablation_batch_size(benchmark, record_report):
         ("batch", "Direct norm IPC", "SEAL-D norm IPC", "SEAL-D/Direct"), rows
     )
     record_report("ablation_batch", report)
+    record_metrics("ablation_batch", payload={"rows": [list(row) for row in rows]})
 
     for row in rows:
         assert row[1] < 1.0  # encryption always costs

@@ -15,7 +15,7 @@ from repro.nn.models import vgg16
 from repro.sim.runner import run_model
 
 
-def test_ablation_boundary_layers(benchmark, record_report):
+def test_ablation_boundary_layers(benchmark, record_report, record_metrics):
     set_init_rng(0)
     model = vgg16()
 
@@ -54,6 +54,7 @@ def test_ablation_boundary_layers(benchmark, record_report):
         rows,
     )
     record_report("ablation_boundary", report)
+    record_metrics("ablation_boundary", payload={"rows": [list(row) for row in rows]})
 
     for row in rows:
         # Boundary layers always add encrypted traffic, hence cost IPC.

@@ -17,7 +17,7 @@ from repro.nn.training import fit
 FRACTIONS = (0.1, 0.3, 0.5)
 
 
-def test_ablation_criticality_premise(benchmark, record_report):
+def test_ablation_criticality_premise(benchmark, record_report, record_metrics):
     generator = SyntheticCIFAR10(noise=0.2)
     train = generator.sample(512, seed=1)
     test = generator.sample(200, seed=2)
@@ -53,6 +53,13 @@ def test_ablation_criticality_premise(benchmark, record_report):
         )
     )
     record_report("ablation_criticality", report)
+    record_metrics(
+        "ablation_criticality",
+        payload={
+            "baseline_accuracy": result.baseline_accuracy,
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     for index in range(len(FRACTIONS)):
         least = result.accuracy["least-important"][index]

@@ -35,7 +35,7 @@ def _run_with_engine(plan, spec):
     return total_instructions / total_cycles
 
 
-def test_ablation_engine_choice(benchmark, record_report):
+def test_ablation_engine_choice(benchmark, record_report, record_metrics):
     set_init_rng(0)
     plan = ModelEncryptionPlan.build(vgg16(), 0.5)
 
@@ -59,6 +59,7 @@ def test_ablation_engine_choice(benchmark, record_report):
         ("Engine", "GB/s each", "aggregate GB/s", "Direct norm IPC"), rows
     )
     record_report("ablation_engines", report)
+    record_metrics("ablation_engines", payload={"rows": [list(row) for row in rows]})
 
     by_bandwidth = sorted(rows, key=lambda r: r[1])
     ipcs = [r[3] for r in by_bandwidth]

@@ -13,7 +13,7 @@ from repro.nn.models import vgg16
 from repro.sim.runner import run_model
 
 
-def test_ablation_quantization(benchmark, record_report):
+def test_ablation_quantization(benchmark, record_report, record_metrics):
     set_init_rng(0)
     model = vgg16()
 
@@ -39,6 +39,7 @@ def test_ablation_quantization(benchmark, record_report):
         ("precision", "Direct norm IPC", "SEAL-D norm IPC", "SEAL-D/Direct"), rows
     )
     record_report("ablation_quantization", report)
+    record_metrics("ablation_quantization", payload={"rows": [list(row) for row in rows]})
 
     direct_ipcs = [row[1] for row in rows]
     # Narrower data -> less bandwidth-bound -> encryption hurts less.

@@ -15,7 +15,7 @@ from repro.sim.runner import run_model
 RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 
-def test_ablation_ratio_performance(benchmark, record_report):
+def test_ablation_ratio_performance(benchmark, record_report, record_metrics):
     set_init_rng(0)
 
     def sweep():
@@ -50,6 +50,15 @@ def test_ablation_ratio_performance(benchmark, record_report):
             )
         )
     record_report("ablation_ratio", "\n\n".join(parts))
+    record_metrics(
+        "ablation_ratio",
+        payload={
+            "rows": {
+                model_name: [list(row) for row in rows]
+                for model_name, rows in table.items()
+            }
+        },
+    )
 
     for rows in table.values():
         ipcs = [row[2] for row in rows]

@@ -11,7 +11,7 @@ from repro.sim.runner import run_layer
 from repro.sim.workloads import matmul_traffic
 
 
-def test_ablation_tile_size(benchmark, record_report):
+def test_ablation_tile_size(benchmark, record_report, record_metrics):
     traffic = matmul_traffic(768, 768, 768)
 
     def sweep():
@@ -35,6 +35,7 @@ def test_ablation_tile_size(benchmark, record_report):
         ("tile", "bytes/MAC", "Baseline IPC", "Direct norm IPC"), rows
     )
     record_report("ablation_tile", report)
+    record_metrics("ablation_tile", payload={"rows": [list(row) for row in rows]})
 
     hurt = [row[3] for row in rows]
     # Bigger tiles -> more reuse -> less bandwidth-bound -> less damage.

@@ -20,9 +20,18 @@ RATIOS_QUICK = (0.8, 0.5, 0.2)
 RATIOS_FULL = (0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
 
 
-def test_fig3_ip_stealing(benchmark, record_report, security_sweep):
+def test_fig3_ip_stealing(benchmark, record_report, record_metrics, security_sweep):
     result = benchmark.pedantic(lambda: security_sweep, iterations=1, rounds=1)
     record_report("fig3_fig4_security", result.report())
+    record_metrics(
+        "fig3_ip_stealing",
+        payload={
+            "accuracy": {
+                name: outcome.accuracy
+                for name, outcome in result.outcomes.items()
+            }
+        },
+    )
 
     high_ratio = max(RATIOS_QUICK)
     low_ratio = min(RATIOS_QUICK)

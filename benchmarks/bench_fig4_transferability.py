@@ -8,7 +8,7 @@ Paper shapes: white-box transfers near-perfectly; black-box sits low
 encryption ratio reaches ~50%, and rises sharply below ~40%.
 """
 
-def test_fig4_transferability(benchmark, record_report, security_sweep):
+def test_fig4_transferability(benchmark, record_report, record_metrics, security_sweep):
     result = benchmark.pedantic(lambda: security_sweep, iterations=1, rounds=1)
 
     lines = []
@@ -19,6 +19,18 @@ def test_fig4_transferability(benchmark, record_report, security_sweep):
                 f"(substitute success {transfer.substitute_success_rate:.2f})"
             )
     record_report("fig4_transferability", "\n".join(lines))
+    record_metrics(
+        "fig4_transferability",
+        payload={
+            "transferability": {
+                name: {
+                    key: transfer.transferability
+                    for key, transfer in outcome.transferability.items()
+                }
+                for name, outcome in result.outcomes.items()
+            }
+        },
+    )
 
     for model_name, outcome in result.outcomes.items():
         white = outcome.transferability["white-box"].transferability

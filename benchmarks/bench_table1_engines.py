@@ -9,7 +9,7 @@ from repro.eval.experiments import table1_engines
 from repro.eval.reporting import ascii_table
 
 
-def test_table1_engine_survey(benchmark, record_report):
+def test_table1_engine_survey(benchmark, record_report, record_metrics):
     result = benchmark.pedantic(table1_engines, iterations=1, rounds=1)
     report = result.report()
 
@@ -24,5 +24,6 @@ def test_table1_engine_survey(benchmark, record_report):
         ("Implementation", "bytes/core-cycle", "cycles per 128B line"), rows
     )
     record_report("table1_engines", report + "\n\nDerived service rates @0.7GHz\n" + derived)
+    record_metrics("table1_engines", payload={"rows": [list(row) for row in result.rows]})
 
     assert len(result.rows) == 5

@@ -73,6 +73,7 @@ def record_metrics(request):
     timers, cache hit rate) with an optional per-benchmark ``payload`` of
     JSON-serialisable result data, and returns the written path.
     """
+    from repro.crypto.fastpath import resolve_backend
     from repro.obs.metrics import get_metrics
 
     out_option = request.config.getoption("--metrics-out")
@@ -82,6 +83,7 @@ def record_metrics(request):
         out_dir.mkdir(parents=True, exist_ok=True)
         document = get_metrics().snapshot()
         document["benchmark"] = name
+        document["crypto_backend"] = resolve_backend()
         if payload:
             document["payload"] = payload
         path = out_dir / f"BENCH_{name}.json"

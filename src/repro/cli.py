@@ -20,7 +20,10 @@ already completed; ``--max-attempts``/``--unit-timeout`` arm the hardened
 runner's bounded retry and per-cell timeout (docs/fault-model.md).
 ``faults`` exits nonzero if any fault on an authenticated encrypted line
 goes undetected, any untampered line fails verification, or the
-plaintext-line integrity gap fails to show.
+plaintext-line integrity gap fails to show.  Its functional crypto runs on
+the vector (NumPy) backend by default; ``--crypto-backend scalar`` (or the
+``REPRO_CRYPTO_BACKEND`` environment variable) pins the pure-Python oracle
+instead — results are identical by contract (docs/fault-model.md).
 """
 
 from __future__ import annotations
@@ -240,6 +243,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         faults_per_class=args.faults_per_class,
         max_lines_per_region=args.max_lines,
         authenticate=not args.no_auth,
+        backend=args.crypto_backend,
     )
     result = run_fault_campaign(config)
     print(result.report())
@@ -386,6 +390,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument(
         "--no-auth", action="store_true",
         help="drop per-line authentication (shows faults going silent)",
+    )
+    p_faults.add_argument(
+        "--crypto-backend", choices=["scalar", "vector"], default=None,
+        help="functional crypto backend (default: REPRO_CRYPTO_BACKEND "
+        "or vector; scalar is the pure-Python oracle)",
     )
     p_faults.add_argument(
         "--metrics-out", metavar="PATH",

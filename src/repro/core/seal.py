@@ -88,6 +88,10 @@ class SealScheme:
         AES key used for the functional datapath (any 16/24/32-byte value).
     input_shape:
         Model input geometry for the dataflow trace.
+    backend:
+        Crypto backend for the functional datapath (``"scalar"`` /
+        ``"vector"`` / ``None`` = environment/default selection, see
+        :mod:`repro.crypto.fastpath`).
     """
 
     def __init__(
@@ -98,18 +102,20 @@ class SealScheme:
         key: bytes = bytes(range(16)),
         input_shape: tuple[int, ...] = (3, 32, 32),
         mode: str = "counter",
+        backend: str | None = None,
     ) -> None:
         self.model = model
         self.plan = ModelEncryptionPlan.build(model, ratio, input_shape=input_shape)
         self.ratio = ratio
         if mode == "counter":
-            self._encryptor = CounterModeEncryptor(key)
+            self._encryptor = CounterModeEncryptor(key, backend=backend)
             self._counter_mode = True
         elif mode == "direct":
-            self._encryptor = DirectEncryptor(key)
+            self._encryptor = DirectEncryptor(key, backend=backend)
             self._counter_mode = False
         else:
             raise ValueError(f"mode must be 'counter' or 'direct', got {mode!r}")
+        self.backend = self._encryptor.backend
 
     # ------------------------------------------------------------------
     # Memory layout

@@ -1,8 +1,17 @@
-"""Encryption substrate: functional AES, memory-encryption modes,
-counter cache, and hardware-engine performance models."""
+"""Encryption substrate: functional AES (scalar oracle + NumPy vector fast
+path), memory-encryption modes, counter cache, GMAC line authentication,
+and hardware-engine performance models."""
 
 from .aes import AES, BLOCK_SIZE
 from .counter_cache import CounterCache, CounterCacheConfig, CounterCacheStats
+from .fastpath import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    GF128Table,
+    VectorAES,
+    block_backend,
+    resolve_backend,
+)
 from .mac import MAC_BYTES, LineAuthenticator, gf128_mul, ghash
 from .engine import ENGINE_SURVEY, PAPER_ENGINE, AesEngineModel, EngineSpec
 from .modes import CounterModeEncryptor, DirectEncryptor
@@ -10,6 +19,12 @@ from .modes import CounterModeEncryptor, DirectEncryptor
 __all__ = [
     "AES",
     "BLOCK_SIZE",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "GF128Table",
+    "VectorAES",
+    "block_backend",
+    "resolve_backend",
     "CounterCache",
     "CounterCacheConfig",
     "CounterCacheStats",

@@ -118,11 +118,27 @@ class CounterCache:
     covering the data line at ``address`` and returns ``True`` on hit.  On a
     write access the line's counter is incremented (counter-mode requires a
     fresh counter per write-back) and the cache block is marked dirty.
+
+    ``on_reencrypt`` (optional) is the functional hook for minor-counter
+    overflow: when a line's minor counter wraps and the covering block takes
+    a re-encryption event, the callback receives ``(block_id, old_counters,
+    new_base)`` — ``old_counters`` mapping every tracked line address to the
+    counter it held *before* the epoch bump — so a caller that stores real
+    ciphertext (e.g. a :class:`~repro.crypto.modes.CounterModeEncryptor`
+    on either crypto backend) can decrypt under the old counters and
+    re-encrypt under ``new_base``, exactly what the hardware's
+    re-encryption sweep does.
     """
 
-    def __init__(self, config: CounterCacheConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CounterCacheConfig | None = None,
+        *,
+        on_reencrypt=None,
+    ) -> None:
         self.config = config or CounterCacheConfig()
         self.stats = CounterCacheStats()
+        self._on_reencrypt = on_reencrypt
         # One OrderedDict per set: maps tag -> _CacheLine, LRU at the front.
         self._sets: list[OrderedDict[int, _CacheLine]] = [
             OrderedDict() for _ in range(self.config.num_sets)
@@ -186,13 +202,16 @@ class CounterCache:
         tracked = {a for a in line.counters if low <= a < high}
         tracked |= {a for a in self._backing if low <= a < high}
         limit = 1 << self.config.minor_counter_bits
-        top = max((self.counter_of(address) for address in tracked), default=0)
+        old_counters = {address: self.counter_of(address) for address in tracked}
+        top = max(old_counters.values(), default=0)
         base = ((top // limit) + 1) * limit
         for address in tracked:
             line.counters[address] = base
         line.dirty = True
         self.stats.reencryptions += 1
         self.stats.reencrypted_lines += len(tracked)
+        if self._on_reencrypt is not None:
+            self._on_reencrypt(block_id, old_counters, base)
         return base
 
     def counter_of(self, address: int) -> int:

@@ -1,0 +1,461 @@
+"""Vectorized AES/CTR/GMAC fast path, validated against the scalar oracle.
+
+The scalar datapath (:mod:`repro.crypto.aes`, :func:`repro.crypto.mac.ghash`)
+is deliberately readable, spec-first Python — and therefore the wall-clock
+bottleneck of everything that functionally encrypts memory lines: the
+fault-injection campaign tampering with real ciphertext, the end-to-end
+encrypted-memory pipeline, and the throughput benches.  This module keeps the
+scalar implementation as the *reference oracle* and adds a NumPy batch
+implementation of the same primitives:
+
+* :class:`VectorAES` — T-table AES (fused SubBytes/ShiftRows/MixColumns per
+  round, tables derived from the computed S-box, round keys from the scalar
+  key schedule) encrypting/decrypting **batches of 16-byte blocks across
+  array lanes**;
+* :class:`GF128Table` — Shoup-style byte tables for multiplication by a
+  fixed GHASH key ``H`` in GF(2^128), with a lane-parallel GHASH for
+  equal-length lines (the GMAC shape used by per-line authentication);
+* :func:`block_backend` — the backend selector the modes
+  (:mod:`repro.crypto.modes`) and the authenticator
+  (:mod:`repro.crypto.mac`) are parameterised over.
+
+Backend selection: every consumer takes ``backend="scalar" | "vector" |
+None``; ``None`` defers to the ``REPRO_CRYPTO_BACKEND`` environment variable
+and finally to :data:`DEFAULT_BACKEND` (``vector``).  Both backends produce
+**byte-identical** output for every operation — the differential conformance
+suite (``tests/crypto/test_backend_conformance.py``) pins FIPS-197 /
+SP 800-38A vectors and seeded randomized equality between them, so the fast
+path is never trusted beyond what the slow oracle confirms.
+
+>>> from repro.crypto.aes import AES
+>>> key = bytes(range(16))
+>>> block = bytes.fromhex("00112233445566778899aabbccddeeff")
+>>> VectorAES(key).encrypt_block(block) == AES(key).encrypt_block(block)
+True
+>>> resolve_backend("scalar")
+'scalar'
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from .aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, gf_mul
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "resolve_backend",
+    "VectorAES",
+    "ScalarBlockBackend",
+    "VectorBlockBackend",
+    "block_backend",
+    "GF128Table",
+]
+
+#: Environment variable overriding the default backend for consumers that
+#: were not given an explicit ``backend=``.
+ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+#: Recognised backend names, in (oracle, fast path) order.
+BACKENDS = ("scalar", "vector")
+
+#: Backend used when neither ``backend=`` nor the environment selects one.
+DEFAULT_BACKEND = "vector"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a concrete name.
+
+    Precedence: explicit ``backend`` argument, then the
+    :data:`ENV_VAR` environment variable, then :data:`DEFAULT_BACKEND`.
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown crypto backend {backend!r}; choose from "
+            f"{', '.join(BACKENDS)} (explicit backend= argument or the "
+            f"{ENV_VAR} environment variable)"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# T-tables (derived from the computed S-box, not pasted)
+# ----------------------------------------------------------------------
+def _rotr32(table: np.ndarray, bytes_: int) -> np.ndarray:
+    shift = np.uint32(8 * bytes_)
+    inv = np.uint32(32 - 8 * bytes_)
+    return ((table >> shift) | (table << inv)).astype(np.uint32)
+
+
+def _build_enc_tables() -> np.ndarray:
+    """TE[i][x]: MixColumns ∘ SubBytes contribution of input row ``i``.
+
+    ``TE0[x]`` packs the column ``(2·S[x], S[x], S[x], 3·S[x])`` rows 0..3
+    into one big-endian uint32; ``TE1..TE3`` are its byte rotations, matching
+    the row offsets ShiftRows feeds into each output column.
+    """
+    te0 = np.zeros(256, dtype=np.uint32)
+    for x in range(256):
+        s = SBOX[x]
+        te0[x] = (gf_mul(s, 2) << 24) | (s << 16) | (s << 8) | gf_mul(s, 3)
+    return np.stack([_rotr32(te0, i) for i in range(4)])
+
+
+def _build_dec_tables() -> np.ndarray:
+    """TD[i][x]: InvMixColumns ∘ InvSubBytes contribution of input row ``i``
+    (the equivalent-inverse-cipher tables)."""
+    td0 = np.zeros(256, dtype=np.uint32)
+    for x in range(256):
+        v = INV_SBOX[x]
+        td0[x] = (
+            (gf_mul(v, 14) << 24)
+            | (gf_mul(v, 9) << 16)
+            | (gf_mul(v, 13) << 8)
+            | gf_mul(v, 11)
+        )
+    return np.stack([_rotr32(td0, i) for i in range(4)])
+
+
+_TE = _build_enc_tables()
+_TD = _build_dec_tables()
+_SBOX_U32 = np.frombuffer(SBOX, dtype=np.uint8).astype(np.uint32)
+_INV_SBOX_U32 = np.frombuffer(INV_SBOX, dtype=np.uint8).astype(np.uint32)
+
+
+class VectorAES:
+    """Batched AES over NumPy lanes, byte-identical to :class:`~repro.crypto.aes.AES`.
+
+    The key schedule is *reused* from the scalar implementation (one source
+    of truth for FIPS-197 key expansion); only the round function is
+    re-expressed as table lookups over ``(n, 4)`` uint32 column arrays so a
+    whole batch of blocks moves through each round together.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        scalar = AES(key)
+        self.key = scalar.key
+        self.rounds = scalar.rounds
+        flat = np.array(scalar._round_keys, dtype=np.uint8)
+        self._enc_keys = np.ascontiguousarray(flat).view(">u4").astype(np.uint32)
+        # Equivalent inverse cipher: middle-round keys pass through
+        # InvMixColumns once, so decryption can use the TD tables directly.
+        inv_flat = [list(rk) for rk in scalar._round_keys]
+        for round_index in range(1, self.rounds):
+            AES._inv_mix_columns(inv_flat[round_index])
+        self._dec_keys = (
+            np.ascontiguousarray(np.array(inv_flat, dtype=np.uint8))
+            .view(">u4")
+            .astype(np.uint32)
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pack(blocks: np.ndarray) -> np.ndarray:
+        """(n, 16) uint8 block bytes -> (n, 4) uint32 big-endian columns."""
+        blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 2 or blocks.shape[1] != BLOCK_SIZE:
+            raise ValueError(
+                f"expected an (n, {BLOCK_SIZE}) byte array, got {blocks.shape}"
+            )
+        return blocks.view(">u4").astype(np.uint32)
+
+    @staticmethod
+    def _unpack(cols: np.ndarray) -> np.ndarray:
+        return (
+            np.ascontiguousarray(cols.astype(">u4"))
+            .view(np.uint8)
+            .reshape(-1, BLOCK_SIZE)
+        )
+
+    # ------------------------------------------------------------------
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt an ``(n, 16)`` uint8 batch; returns the same shape."""
+        cols = self._pack(blocks)
+        cols ^= self._enc_keys[0]
+        for round_index in range(1, self.rounds):
+            cols = self._enc_round(cols, self._enc_keys[round_index])
+        cols = self._enc_final(cols, self._enc_keys[self.rounds])
+        return self._unpack(cols)
+
+    def decrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Decrypt an ``(n, 16)`` uint8 batch; returns the same shape."""
+        cols = self._pack(blocks)
+        cols ^= self._enc_keys[self.rounds]
+        for round_index in range(self.rounds - 1, 0, -1):
+            cols = self._dec_round(cols, self._dec_keys[round_index])
+        cols = self._dec_final(cols, self._enc_keys[0])
+        return self._unpack(cols)
+
+    @staticmethod
+    def _enc_round(cols: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+        out = np.empty_like(cols)
+        for j in range(4):
+            out[:, j] = (
+                _TE[0][(cols[:, j] >> np.uint32(24))]
+                ^ _TE[1][(cols[:, (j + 1) % 4] >> np.uint32(16)) & np.uint32(0xFF)]
+                ^ _TE[2][(cols[:, (j + 2) % 4] >> np.uint32(8)) & np.uint32(0xFF)]
+                ^ _TE[3][cols[:, (j + 3) % 4] & np.uint32(0xFF)]
+                ^ round_key[j]
+            )
+        return out
+
+    @staticmethod
+    def _enc_final(cols: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+        out = np.empty_like(cols)
+        for j in range(4):
+            out[:, j] = (
+                (_SBOX_U32[cols[:, j] >> np.uint32(24)] << np.uint32(24))
+                ^ (
+                    _SBOX_U32[
+                        (cols[:, (j + 1) % 4] >> np.uint32(16)) & np.uint32(0xFF)
+                    ]
+                    << np.uint32(16)
+                )
+                ^ (
+                    _SBOX_U32[
+                        (cols[:, (j + 2) % 4] >> np.uint32(8)) & np.uint32(0xFF)
+                    ]
+                    << np.uint32(8)
+                )
+                ^ _SBOX_U32[cols[:, (j + 3) % 4] & np.uint32(0xFF)]
+                ^ round_key[j]
+            )
+        return out
+
+    @staticmethod
+    def _dec_round(cols: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+        out = np.empty_like(cols)
+        for j in range(4):
+            out[:, j] = (
+                _TD[0][(cols[:, j] >> np.uint32(24))]
+                ^ _TD[1][(cols[:, (j - 1) % 4] >> np.uint32(16)) & np.uint32(0xFF)]
+                ^ _TD[2][(cols[:, (j - 2) % 4] >> np.uint32(8)) & np.uint32(0xFF)]
+                ^ _TD[3][cols[:, (j - 3) % 4] & np.uint32(0xFF)]
+                ^ round_key[j]
+            )
+        return out
+
+    @staticmethod
+    def _dec_final(cols: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+        out = np.empty_like(cols)
+        for j in range(4):
+            out[:, j] = (
+                (_INV_SBOX_U32[cols[:, j] >> np.uint32(24)] << np.uint32(24))
+                ^ (
+                    _INV_SBOX_U32[
+                        (cols[:, (j - 1) % 4] >> np.uint32(16)) & np.uint32(0xFF)
+                    ]
+                    << np.uint32(16)
+                )
+                ^ (
+                    _INV_SBOX_U32[
+                        (cols[:, (j - 2) % 4] >> np.uint32(8)) & np.uint32(0xFF)
+                    ]
+                    << np.uint32(8)
+                )
+                ^ _INV_SBOX_U32[cols[:, (j - 3) % 4] & np.uint32(0xFF)]
+                ^ round_key[j]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Single-block convenience wrapper (scalar-API compatible)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        batch = np.frombuffer(block, dtype=np.uint8).reshape(1, BLOCK_SIZE)
+        return self.encrypt_blocks(batch).tobytes()
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Single-block convenience wrapper (scalar-API compatible)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        batch = np.frombuffer(block, dtype=np.uint8).reshape(1, BLOCK_SIZE)
+        return self.decrypt_blocks(batch).tobytes()
+
+
+# ----------------------------------------------------------------------
+# Block-cipher backends (what modes.py / mac.py are parameterised over)
+# ----------------------------------------------------------------------
+def _check_many(data: bytes) -> None:
+    if len(data) % BLOCK_SIZE:
+        raise ValueError(
+            f"batched input must be a multiple of {BLOCK_SIZE} bytes, "
+            f"got {len(data)}"
+        )
+
+
+class ScalarBlockBackend:
+    """The pure-Python oracle: block-at-a-time loops over :class:`AES`."""
+
+    name = "scalar"
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        self.key = self._aes.key
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        return self._aes.encrypt_block(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        return self._aes.decrypt_block(block)
+
+    def encrypt_many(self, data: bytes) -> bytes:
+        """Encrypt concatenated 16-byte blocks, one ECB pass per block."""
+        _check_many(data)
+        return b"".join(
+            self._aes.encrypt_block(data[offset : offset + BLOCK_SIZE])
+            for offset in range(0, len(data), BLOCK_SIZE)
+        )
+
+    def decrypt_many(self, data: bytes) -> bytes:
+        _check_many(data)
+        return b"".join(
+            self._aes.decrypt_block(data[offset : offset + BLOCK_SIZE])
+            for offset in range(0, len(data), BLOCK_SIZE)
+        )
+
+
+class VectorBlockBackend:
+    """The NumPy fast path: whole batches per round through :class:`VectorAES`."""
+
+    name = "vector"
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = VectorAES(key)
+        self.key = self._aes.key
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        return self._aes.encrypt_block(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        return self._aes.decrypt_block(block)
+
+    def encrypt_many(self, data: bytes) -> bytes:
+        _check_many(data)
+        if not data:
+            return b""
+        blocks = np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+        return self._aes.encrypt_blocks(blocks).tobytes()
+
+    def decrypt_many(self, data: bytes) -> bytes:
+        _check_many(data)
+        if not data:
+            return b""
+        blocks = np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+        return self._aes.decrypt_blocks(blocks).tobytes()
+
+
+def block_backend(
+    key: bytes, backend: str | None = None
+) -> ScalarBlockBackend | VectorBlockBackend:
+    """Instantiate the selected block-cipher backend for ``key``."""
+    name = resolve_backend(backend)
+    if name == "scalar":
+        return ScalarBlockBackend(key)
+    return VectorBlockBackend(key)
+
+
+# ----------------------------------------------------------------------
+# GF(2^128) multiplication tables (GMAC fast path)
+# ----------------------------------------------------------------------
+#: GHASH reduction constant of SP 800-38D (x^128 + x^7 + x^2 + x + 1 in the
+#: bit-reflected convention) — mirrors ``repro.crypto.mac._R``.
+_R_INT = 0xE1000000000000000000000000000000
+
+
+class GF128Table:
+    """Byte-sliced multiplication tables for a fixed GHASH key ``H``.
+
+    ``table[j][v]`` holds ``(v · x^(8j)) • H`` so a full 128×128-bit product
+    collapses to 16 table gathers and XORs — and, crucially, the gathers
+    vectorize across *lanes*: :meth:`ghash_many` runs the sequential GHASH
+    recurrence once per block position while every line in the batch moves
+    in parallel.
+    """
+
+    def __init__(self, key_h: bytes) -> None:
+        if len(key_h) != BLOCK_SIZE:
+            raise ValueError("GHASH key must be 16 bytes")
+        self.key_h = bytes(key_h)
+        # powers[i] = H · x^i (one right shift per step in the bit-reflected
+        # convention), as byte rows.
+        power = int.from_bytes(key_h, "big")
+        powers = np.zeros((128, BLOCK_SIZE), dtype=np.uint8)
+        for index in range(128):
+            powers[index] = np.frombuffer(power.to_bytes(16, "big"), dtype=np.uint8)
+            power = (power >> 1) ^ (_R_INT if power & 1 else 0)
+        table = np.zeros((BLOCK_SIZE, 256, BLOCK_SIZE), dtype=np.uint8)
+        values = np.arange(256)
+        for j in range(BLOCK_SIZE):
+            for bit in range(8):
+                selected = ((values >> bit) & 1).astype(bool)
+                table[j, selected] ^= powers[8 * j + 7 - bit]
+        self._table = table
+
+    def mul_many(self, x: np.ndarray) -> np.ndarray:
+        """Multiply each ``(n, 16)`` lane by ``H`` in GF(2^128)."""
+        x = np.ascontiguousarray(x, dtype=np.uint8)
+        out = np.zeros_like(x)
+        for j in range(BLOCK_SIZE):
+            out ^= self._table[j][x[:, j]]
+        return out
+
+    def ghash_many(self, blocks: np.ndarray) -> np.ndarray:
+        """GHASH over ``(n, m, 16)`` pre-padded blocks, lane-parallel.
+
+        Every lane runs the same-length recurrence
+        ``y = (y ^ block) • H`` over its ``m`` blocks.
+        """
+        blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 3 or blocks.shape[2] != BLOCK_SIZE:
+            raise ValueError(
+                f"expected an (n, m, {BLOCK_SIZE}) block array, got {blocks.shape}"
+            )
+        y = np.zeros((blocks.shape[0], BLOCK_SIZE), dtype=np.uint8)
+        for position in range(blocks.shape[1]):
+            y = self.mul_many(y ^ blocks[:, position, :])
+        return y
+
+    def ghash(self, data: bytes) -> bytes:
+        """Single-shot GHASH of ``data`` (zero-padded), table-driven."""
+        padded = data + bytes(-len(data) % BLOCK_SIZE)
+        blocks = np.frombuffer(padded, dtype=np.uint8).reshape(
+            1, -1, BLOCK_SIZE
+        )
+        if blocks.shape[1] == 0:
+            return bytes(BLOCK_SIZE)
+        return self.ghash_many(blocks)[0].tobytes()
+
+
+# ----------------------------------------------------------------------
+# Batched CTR seed construction (shared by modes.py and the benches)
+# ----------------------------------------------------------------------
+def ctr_seeds(
+    addresses: Sequence[int], counters: Sequence[int], blocks_per_line: int
+) -> bytes:
+    """Concatenated per-block CTR seeds for a batch of lines.
+
+    Layout per block matches ``CounterModeEncryptor._pad``:
+    ``<QII`` = (address, counter, block_index), exactly 16 bytes.
+    """
+    if len(addresses) != len(counters):
+        raise ValueError("addresses and counters must have equal length")
+    out = bytearray()
+    for address, counter in zip(addresses, counters):
+        for block_index in range(blocks_per_line):
+            out += struct.pack(
+                "<QII",
+                address & 0xFFFFFFFFFFFFFFFF,
+                counter & 0xFFFFFFFF,
+                block_index,
+            )
+    return bytes(out)

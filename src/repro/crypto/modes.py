@@ -16,14 +16,29 @@ Two schemes from the paper (Section II-B, following Yan et al. [24]):
   on the critical path; on a counter-cache miss an extra memory access is
   needed — the effect Figure 1 of the paper measures.
 
-Both operate on whole cache lines (any multiple of 16 bytes).
+Both operate on whole cache lines (any multiple of 16 bytes; counter mode
+accepts arbitrary lengths, the keystream tail is truncated).
+
+Both encryptors accept ``backend="scalar" | "vector" | None``
+(:mod:`repro.crypto.fastpath`): ``scalar`` is the readable pure-Python
+oracle, ``vector`` the NumPy batch implementation; ``None`` defers to the
+``REPRO_CRYPTO_BACKEND`` environment variable and then the ``vector``
+default.  Output is byte-identical across backends — the differential
+conformance suite pins it.  The batched line APIs
+(:meth:`CounterModeEncryptor.encrypt_lines` /
+:meth:`~CounterModeEncryptor.decrypt_lines`) push whole batches of lines
+through one cipher call, which is where the vector backend earns its keep
+(``benchmarks/bench_crypto_throughput.py``).
 """
 
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
-from .aes import AES, BLOCK_SIZE
+from ..obs.metrics import get_metrics
+from .aes import BLOCK_SIZE
+from .fastpath import block_backend, ctr_seeds
 
 __all__ = ["DirectEncryptor", "CounterModeEncryptor"]
 
@@ -43,37 +58,54 @@ class DirectEncryptor:
         Separate key used to derive the per-address tweak; defaults to the
         data key with all bytes inverted, which keeps the two schedules
         distinct without requiring callers to manage a second secret.
+    backend:
+        Crypto backend name (``None`` = environment/default selection).
     """
 
-    def __init__(self, key: bytes, tweak_key: bytes | None = None) -> None:
-        self._cipher = AES(key)
+    def __init__(
+        self,
+        key: bytes,
+        tweak_key: bytes | None = None,
+        *,
+        backend: str | None = None,
+    ) -> None:
+        self._cipher = block_backend(key, backend)
         if tweak_key is None:
             tweak_key = bytes(b ^ 0xFF for b in key)
-        self._tweak_cipher = AES(tweak_key)
+        self._tweak_cipher = block_backend(tweak_key, self.backend)
+        get_metrics().count(f"crypto.backend.{self.backend}")
 
-    def _tweak(self, address: int, block_index: int) -> bytes:
-        material = struct.pack("<QQ", address & 0xFFFFFFFFFFFFFFFF, block_index)
-        return self._tweak_cipher.encrypt_block(material)
+    @property
+    def backend(self) -> str:
+        """Resolved backend name (``scalar`` or ``vector``)."""
+        return self._cipher.name
+
+    def _tweaks(self, address: int, n_blocks: int) -> bytes:
+        material = b"".join(
+            struct.pack("<QQ", address & 0xFFFFFFFFFFFFFFFF, block_index)
+            for block_index in range(n_blocks)
+        )
+        return self._tweak_cipher.encrypt_many(material)
 
     def encrypt_line(self, address: int, plaintext: bytes) -> bytes:
         """Encrypt a cache line stored at ``address``."""
         self._check_length(plaintext)
-        out = bytearray()
-        for index in range(0, len(plaintext), BLOCK_SIZE):
-            tweak = self._tweak(address, index // BLOCK_SIZE)
-            block = _xor_bytes(plaintext[index : index + BLOCK_SIZE], tweak)
-            out += _xor_bytes(self._cipher.encrypt_block(block), tweak)
-        return bytes(out)
+        metrics = get_metrics()
+        with metrics.timer("crypto.direct"):
+            tweaks = self._tweaks(address, len(plaintext) // BLOCK_SIZE)
+            out = self._cipher.encrypt_many(_xor_bytes(plaintext, tweaks))
+            metrics.count("crypto.direct.blocks", len(plaintext) // BLOCK_SIZE)
+            return _xor_bytes(out, tweaks)
 
     def decrypt_line(self, address: int, ciphertext: bytes) -> bytes:
         """Decrypt a cache line stored at ``address``."""
         self._check_length(ciphertext)
-        out = bytearray()
-        for index in range(0, len(ciphertext), BLOCK_SIZE):
-            tweak = self._tweak(address, index // BLOCK_SIZE)
-            block = _xor_bytes(ciphertext[index : index + BLOCK_SIZE], tweak)
-            out += _xor_bytes(self._cipher.decrypt_block(block), tweak)
-        return bytes(out)
+        metrics = get_metrics()
+        with metrics.timer("crypto.direct"):
+            tweaks = self._tweaks(address, len(ciphertext) // BLOCK_SIZE)
+            out = self._cipher.decrypt_many(_xor_bytes(ciphertext, tweaks))
+            metrics.count("crypto.direct.blocks", len(ciphertext) // BLOCK_SIZE)
+            return _xor_bytes(out, tweaks)
 
     @staticmethod
     def _check_length(data: bytes) -> None:
@@ -94,22 +126,44 @@ class CounterModeEncryptor:
     and this class checks pad-uniqueness in debug mode.
     """
 
-    def __init__(self, key: bytes, *, track_pad_reuse: bool = False) -> None:
-        self._cipher = AES(key)
+    def __init__(
+        self,
+        key: bytes,
+        *,
+        track_pad_reuse: bool = False,
+        backend: str | None = None,
+    ) -> None:
+        self._cipher = block_backend(key, backend)
         self._track_pad_reuse = track_pad_reuse
         self._seen_pads: set[tuple[int, int]] = set()
+        get_metrics().count(f"crypto.backend.{self.backend}")
+
+    @property
+    def backend(self) -> str:
+        """Resolved backend name (``scalar`` or ``vector``)."""
+        return self._cipher.name
 
     def _pad(self, address: int, counter: int, length: int) -> bytes:
-        pad = bytearray()
-        for block_index in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
-            seed = struct.pack(
-                "<QII",
-                address & 0xFFFFFFFFFFFFFFFF,
-                counter & 0xFFFFFFFF,
-                block_index,
+        n_blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+        seeds = ctr_seeds([address], [counter], n_blocks)
+        pad = self._cipher.encrypt_many(seeds)
+        get_metrics().count("crypto.ctr.blocks", n_blocks)
+        return pad[:length]
+
+    def keystream(self, address: int, counter: int, length: int) -> bytes:
+        """The CTR keystream for one line — exposed so the conformance
+        suite can compare backends on the pad itself, not only on XORed
+        ciphertext."""
+        with get_metrics().timer("crypto.ctr"):
+            return self._pad(address, counter, length)
+
+    def _note_pad(self, address: int, counter: int) -> None:
+        pair = (address, counter)
+        if pair in self._seen_pads:
+            raise ValueError(
+                f"pad reuse detected for address={address:#x} counter={counter}"
             )
-            pad += self._cipher.encrypt_block(seed)
-        return bytes(pad[:length])
+        self._seen_pads.add(pair)
 
     def encrypt_line(self, address: int, counter: int, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext`` at ``address`` using ``counter``.
@@ -118,14 +172,64 @@ class CounterModeEncryptor:
         new write to the same address (pad reuse breaks confidentiality).
         """
         if self._track_pad_reuse:
-            pair = (address, counter)
-            if pair in self._seen_pads:
-                raise ValueError(
-                    f"pad reuse detected for address={address:#x} counter={counter}"
-                )
-            self._seen_pads.add(pair)
-        return _xor_bytes(plaintext, self._pad(address, counter, len(plaintext)))
+            self._note_pad(address, counter)
+        with get_metrics().timer("crypto.ctr"):
+            return _xor_bytes(plaintext, self._pad(address, counter, len(plaintext)))
 
     def decrypt_line(self, address: int, counter: int, ciphertext: bytes) -> bytes:
         """Decrypt ``ciphertext`` at ``address`` using ``counter``."""
-        return _xor_bytes(ciphertext, self._pad(address, counter, len(ciphertext)))
+        with get_metrics().timer("crypto.ctr"):
+            return _xor_bytes(ciphertext, self._pad(address, counter, len(ciphertext)))
+
+    # ------------------------------------------------------------------
+    # Batched line APIs (one cipher call per batch — the vector backend's
+    # fast path; the scalar backend loops but produces identical bytes)
+    # ------------------------------------------------------------------
+    def encrypt_lines(
+        self,
+        addresses: Sequence[int],
+        counters: Sequence[int],
+        lines: Sequence[bytes],
+    ) -> list[bytes]:
+        """Encrypt a batch of equal-length lines in one keystream pass."""
+        return self._process_lines(addresses, counters, lines, track=True)
+
+    def decrypt_lines(
+        self,
+        addresses: Sequence[int],
+        counters: Sequence[int],
+        lines: Sequence[bytes],
+    ) -> list[bytes]:
+        """Decrypt a batch of equal-length lines in one keystream pass."""
+        return self._process_lines(addresses, counters, lines, track=False)
+
+    def _process_lines(
+        self,
+        addresses: Sequence[int],
+        counters: Sequence[int],
+        lines: Sequence[bytes],
+        *,
+        track: bool,
+    ) -> list[bytes]:
+        if not (len(addresses) == len(counters) == len(lines)):
+            raise ValueError("addresses, counters and lines must align")
+        if not lines:
+            return []
+        length = len(lines[0])
+        if any(len(line) != length for line in lines):
+            raise ValueError("batched lines must share one length")
+        if track and self._track_pad_reuse:
+            for address, counter in zip(addresses, counters):
+                self._note_pad(address, counter)
+        n_blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+        padded = n_blocks * BLOCK_SIZE
+        metrics = get_metrics()
+        with metrics.timer("crypto.ctr"):
+            pad = self._cipher.encrypt_many(
+                ctr_seeds(addresses, counters, n_blocks)
+            )
+            metrics.count("crypto.ctr.blocks", n_blocks * len(lines))
+            return [
+                _xor_bytes(line, pad[index * padded : index * padded + length])
+                for index, line in enumerate(lines)
+            ]

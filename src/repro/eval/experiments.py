@@ -504,6 +504,7 @@ def fault_injection(
     seed: int = 0,
     max_lines_per_region: int = 24,
     authenticate: bool = True,
+    backend: str | None = None,
 ):
     """Bus-tampering campaign on one model's SEAL-protected memory image.
 
@@ -526,5 +527,6 @@ def fault_injection(
             seed=seed,
             max_lines_per_region=max_lines_per_region,
             authenticate=authenticate,
+            backend=backend,
         )
     )

@@ -91,6 +91,11 @@ class FaultCampaignConfig:
     line_bytes: int = LINE_BYTES
     tag_bytes: int = MAC_BYTES
     authenticate: bool = True
+    #: Crypto backend for the functional encrypt/MAC pipeline
+    #: (``None`` = REPRO_CRYPTO_BACKEND / default).  Campaign results are
+    #: backend-independent by contract — pinned by the golden-equivalence
+    #: suite.
+    backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -176,8 +181,11 @@ class FaultCampaignResult:
         return issues
 
     def to_dict(self) -> dict[str, object]:
+        from ..crypto.fastpath import resolve_backend
+
         return {
             "config": asdict(self.config),
+            "crypto_backend": resolve_backend(self.config.backend),
             "model_name": self.model_name,
             "encrypted_lines": self.encrypted_lines,
             "plaintext_lines": self.plaintext_lines,
@@ -285,7 +293,10 @@ def run_fault_campaign(
         )
     with metrics.timer("faults.campaign"):
         bus = TamperingBus(
-            image, tag_bytes=config.tag_bytes, authenticate=config.authenticate
+            image,
+            tag_bytes=config.tag_bytes,
+            authenticate=config.authenticate,
+            backend=config.backend,
         )
 
         baseline = bus.sweep()

@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..crypto.fastpath import resolve_backend
 from ..crypto.mac import MAC_BYTES, LineAuthenticator
 from ..crypto.modes import CounterModeEncryptor
 
@@ -234,11 +235,17 @@ class TamperingBus:
         mac_key: bytes | None = None,
         tag_bytes: int = MAC_BYTES,
         authenticate: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.image = image
-        self._encryptor = CounterModeEncryptor(key)
+        self.backend = resolve_backend(backend)
+        self._encryptor = CounterModeEncryptor(key, backend=self.backend)
         self._auth = (
-            LineAuthenticator(mac_key or bytes(b ^ 0xA5 for b in key), tag_bytes)
+            LineAuthenticator(
+                mac_key or bytes(b ^ 0xA5 for b in key),
+                tag_bytes,
+                backend=self.backend,
+            )
             if authenticate
             else None
         )
@@ -250,7 +257,39 @@ class TamperingBus:
             self._golden[line.address] = line.plaintext
             self._stored[line.address] = _StoredLine(encrypted=line.encrypted, data=b"")
             self._trusted[line.address] = 0
-            self.write(line.address, line.plaintext)
+        self._load_image()
+
+    def _load_image(self) -> None:
+        """Initial fill: every plaintext line stored raw, every encrypted
+        line encrypted + tagged in **one batched pass** (the write path for
+        subsequent single-line writes produces identical bytes)."""
+        encrypted = [line for line in self.image.lines if line.encrypted]
+        for line in self.image.lines:
+            if not line.encrypted:
+                stored = self._stored[line.address]
+                stored.data = line.plaintext
+                self._legit[line.address] = (line.plaintext, 0, None)
+        if not encrypted:
+            return
+        addresses = [line.address for line in encrypted]
+        counters = [1] * len(encrypted)
+        ciphertexts = self._encryptor.encrypt_lines(
+            addresses, counters, [line.plaintext for line in encrypted]
+        )
+        tags: list[bytes | None]
+        if self._auth is not None:
+            tags = list(self._auth.tag_lines(addresses, counters, ciphertexts))
+        else:
+            tags = [None] * len(encrypted)
+        for address, counter, ciphertext, tag in zip(
+            addresses, counters, ciphertexts, tags
+        ):
+            stored = self._stored[address]
+            stored.data = ciphertext
+            stored.counter = counter
+            stored.tag = tag
+            self._trusted[address] = counter
+            self._legit[address] = (ciphertext, counter, tag)
 
     # ------------------------------------------------------------------
     # Legitimate controller paths

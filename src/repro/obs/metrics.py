@@ -156,6 +156,18 @@ class MetricsRegistry:
             derived["runner_retry_rate"] = (
                 counters.get("runner.retries", 0) / attempts
             )
+        ctr = timers.get("crypto.ctr")
+        ctr_blocks = counters.get("crypto.ctr.blocks")
+        if ctr and ctr_blocks and ctr["total_seconds"] > 0:
+            derived["crypto_ctr_blocks_per_second"] = (
+                ctr_blocks / ctr["total_seconds"]
+            )
+        gmac = timers.get("crypto.gmac")
+        gmac_tags = counters.get("crypto.gmac.tags")
+        if gmac and gmac_tags and gmac["total_seconds"] > 0:
+            derived["crypto_gmac_tags_per_second"] = (
+                gmac_tags / gmac["total_seconds"]
+            )
         return {
             "schema": METRICS_SCHEMA,
             "counters": counters,

@@ -196,3 +196,107 @@ class TestProperties:
                 writes[address] = writes.get(address, 0) + 1
         for address, count in writes.items():
             assert cache.counter_of(address) == count
+
+
+class TestMinorCounterWrapReencryption:
+    """The satellite edge case: the re-encryption event must fire at the
+    *exact* minor-counter wrap boundary, and the ``on_reencrypt`` hook must
+    let a real encryptor (either crypto backend) keep stored ciphertext
+    decryptable across the epoch bump."""
+
+    @staticmethod
+    def _wrap_config():
+        # minor_counter_bits=3 -> the 8th write to a line wraps its minor.
+        return CounterCacheConfig(
+            size_bytes=4 * 64,
+            block_bytes=64,
+            associativity=2,
+            minor_counter_bits=3,
+        )
+
+    def test_event_fires_exactly_at_the_wrap_write(self):
+        cache = CounterCache(self._wrap_config())
+        for write_number in range(1, 8):
+            cache.access(0x0000, write=True)
+            assert cache.stats.reencryptions == 0, (
+                f"re-encryption fired prematurely at write {write_number}"
+            )
+            assert cache.counter_of(0x0000) == write_number
+        cache.access(0x0000, write=True)  # 8th write: minor wraps here
+        assert cache.stats.reencryptions == 1
+        # Fresh epoch base 8, then the triggering write's own bump.
+        assert cache.counter_of(0x0000) == 9
+
+    def test_hook_reports_pre_bump_counters_and_fresh_base(self):
+        events = []
+        cache = CounterCache(
+            self._wrap_config(),
+            on_reencrypt=lambda *event: events.append(event),
+        )
+        cache.access(0x0080, write=True)  # sibling line, same counter block
+        for _ in range(8):
+            cache.access(0x0000, write=True)
+        assert len(events) == 1
+        block_id, old_counters, base = events[0]
+        assert block_id == 0
+        assert old_counters == {0x0000: 7, 0x0080: 1}
+        assert base == 8
+        assert base > max(old_counters.values())
+        assert cache.stats.reencrypted_lines == 2
+        # The sibling line sits at the fresh base (re-encrypted, not written).
+        assert cache.counter_of(0x0080) == base
+
+    @staticmethod
+    def _run_functional_scenario(backend):
+        """Drive a tiny ciphertext store through the wrap via the hook."""
+        from repro.crypto.modes import CounterModeEncryptor
+
+        encryptor = CounterModeEncryptor(bytes(range(16)), backend=backend)
+        store: dict[int, bytes] = {}
+        golden: dict[int, bytes] = {}
+
+        def reencrypt(block_id, old_counters, base):
+            for address, old_counter in old_counters.items():
+                if address in store:
+                    plaintext = encryptor.decrypt_line(
+                        address, old_counter, store[address]
+                    )
+                    store[address] = encryptor.encrypt_line(
+                        address, base, plaintext
+                    )
+
+        cache = CounterCache(
+            TestMinorCounterWrapReencryption._wrap_config(),
+            on_reencrypt=reencrypt,
+        )
+
+        def write(address, plaintext):
+            cache.access(address, write=True)
+            golden[address] = plaintext
+            store[address] = encryptor.encrypt_line(
+                address, cache.counter_of(address), plaintext
+            )
+
+        write(0x0080, bytes(range(64)))
+        for epoch in range(8):  # the 8th write crosses the wrap boundary
+            write(0x0000, bytes((epoch + i) & 0xFF for i in range(64)))
+        return cache, encryptor, store, golden
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_store_stays_decryptable_across_the_wrap(self, backend):
+        cache, encryptor, store, golden = self._run_functional_scenario(backend)
+        assert cache.stats.reencryptions == 1
+        for address, plaintext in golden.items():
+            decrypted = encryptor.decrypt_line(
+                address, cache.counter_of(address), store[address]
+            )
+            assert decrypted == plaintext, (
+                f"line {address:#x} lost across the epoch bump ({backend})"
+            )
+
+    def test_backends_produce_identical_post_wrap_ciphertext(self):
+        stores = {}
+        for backend in ("scalar", "vector"):
+            _, _, store, _ = self._run_functional_scenario(backend)
+            stores[backend] = store
+        assert stores["scalar"] == stores["vector"]

@@ -1,0 +1,128 @@
+"""Golden-equivalence regression: backends must be output-invisible.
+
+Switching ``REPRO_CRYPTO_BACKEND`` (or ``backend=``) may change *speed*,
+never *results*.  This suite pins that contract at the pipeline level: a
+full fault-injection campaign and an end-to-end encrypted-memory run must
+produce byte/field-identical artifacts — detection rates, per-record
+outcomes, MAC tags, and ciphertext digests — under the scalar oracle and
+the vectorized fast path.
+"""
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+from repro.faults.tamper import ProtectedImage, TamperingBus
+
+
+def _campaign_fingerprint(result) -> dict:
+    """Everything observable about a campaign except the backend label."""
+    payload = result.to_dict()
+    payload.pop("crypto_backend")
+    payload["config"].pop("backend")
+    payload["report"] = result.report()
+    return payload
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            FaultCampaignConfig(synthetic_lines=16, faults_per_class=3, seed=5),
+            FaultCampaignConfig(
+                synthetic_lines=12,
+                faults_per_class=2,
+                seed=9,
+                authenticate=False,
+            ),
+        ],
+        ids=["authenticated", "unauthenticated"],
+    )
+    def test_synthetic_campaign_identical(self, config):
+        scalar = run_fault_campaign(replace(config, backend="scalar"))
+        vector = run_fault_campaign(replace(config, backend="vector"))
+        assert _campaign_fingerprint(scalar) == _campaign_fingerprint(vector)
+        assert scalar.records == vector.records
+        assert scalar.detection_rate("encrypted") == vector.detection_rate(
+            "encrypted"
+        )
+        assert scalar.false_positives == vector.false_positives == 0
+
+    def test_plan_derived_campaign_identical(self):
+        config = FaultCampaignConfig(
+            model="mlp",
+            width_scale=0.25,
+            faults_per_class=2,
+            seed=3,
+            max_lines_per_region=8,
+        )
+        scalar = run_fault_campaign(replace(config, backend="scalar"))
+        vector = run_fault_campaign(replace(config, backend="vector"))
+        assert _campaign_fingerprint(scalar) == _campaign_fingerprint(vector)
+
+    def test_backend_label_recorded(self):
+        config = FaultCampaignConfig(
+            synthetic_lines=8, faults_per_class=1, seed=1
+        )
+        for backend in ("scalar", "vector"):
+            result = run_fault_campaign(replace(config, backend=backend))
+            assert result.to_dict()["crypto_backend"] == backend
+
+
+class TestEndToEndMemoryEquivalence:
+    """One encrypted-memory image, both backends: identical bus artifacts."""
+
+    @pytest.fixture(scope="class")
+    def buses(self):
+        image = ProtectedImage.synthetic(24, 0.5, seed=42)
+        return {
+            backend: TamperingBus(image, backend=backend)
+            for backend in ("scalar", "vector")
+        }
+
+    def test_ciphertext_digests_match(self, buses):
+        digests = {}
+        for backend, bus in buses.items():
+            hasher = hashlib.sha256()
+            for line in sorted(bus.image.lines, key=lambda l: l.address):
+                hasher.update(bus._stored[line.address].data)
+            digests[backend] = hasher.hexdigest()
+        assert digests["scalar"] == digests["vector"]
+
+    def test_mac_tags_match(self, buses):
+        tags = {
+            backend: [
+                bus._stored[address].tag
+                for address in sorted(bus.image.encrypted_addresses)
+            ]
+            for backend, bus in buses.items()
+        }
+        assert tags["scalar"] == tags["vector"]
+        assert all(tag is not None for tag in tags["scalar"])
+
+    def test_sweep_outcomes_match(self, buses):
+        sweeps = {
+            backend: [
+                (outcome.address, outcome.detected, outcome.corrupted)
+                for outcome in bus.sweep()
+            ]
+            for backend, bus in buses.items()
+        }
+        assert sweeps["scalar"] == sweeps["vector"]
+        assert not any(detected for _, detected, _c in sweeps["scalar"])
+
+    def test_cross_backend_read_write(self, buses):
+        # A line written through one backend's pipeline decrypts and
+        # authenticates through the other: the wire format is shared.
+        address = sorted(buses["scalar"].image.encrypted_addresses)[0]
+        plaintext = bytes(range(128))
+        buses["scalar"].write(address, plaintext)
+        buses["vector"]._stored[address] = buses["scalar"]._stored[address]
+        buses["vector"]._trusted[address] = buses["scalar"]._trusted[address]
+        buses["vector"]._golden[address] = plaintext
+        outcome = buses["vector"].read(address)
+        assert not outcome.detected
+        assert not outcome.corrupted
+        assert outcome.data == plaintext

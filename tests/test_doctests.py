@@ -10,6 +10,7 @@ import repro.attacks.security
 import repro.attacks.sweep
 import repro.core.keys
 import repro.crypto.aes
+import repro.crypto.fastpath
 import repro.faults.campaign
 
 
@@ -22,6 +23,7 @@ import repro.faults.campaign
         repro.attacks.sweep,
         repro.core.keys,
         repro.crypto.aes,
+        repro.crypto.fastpath,
         repro.faults.campaign,
     ],
 )
