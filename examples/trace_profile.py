@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Trace a five-scheme comparison and report where the time went.
+
+Enables hierarchical tracing from library code (what ``python -m repro
+run --trace-out`` does under the hood), runs the MLP comparison over a
+2-worker pool, prints the hottest spans by self-time, and writes both
+trace formats: ``out/trace.json`` (the ``repro.trace/v1`` document) and
+``out/trace_chrome.json`` (drag into https://ui.perfetto.dev — one
+process row per worker, one lane per simulated SM).
+
+Run:  python examples/trace_profile.py
+"""
+
+from pathlib import Path
+
+from repro.eval.reporting import ascii_table
+from repro.nn import build_model
+from repro.obs.report import aggregate_spans
+from repro.obs.trace import disable_tracing, enable_tracing, write_trace_document
+from repro.sim.runner import compare_schemes
+
+OUT = Path(__file__).resolve().parent.parent / "out"
+
+
+def main() -> None:
+    model = build_model("mlp")
+    tracer = enable_tracing()
+    try:
+        compare_schemes(model, ("Baseline", "Direct", "SEAL-C"), jobs=2)
+        document = tracer.snapshot()
+    finally:
+        disable_tracing()
+        tracer.reset()
+
+    spans = document["spans"]
+    workers = sorted({span["pid"] for span in spans})
+    print(f"{len(spans)} spans from {len(workers)} process(es): {', '.join(workers)}\n")
+
+    rows = [
+        (
+            aggregate.name,
+            str(aggregate.count),
+            f"{aggregate.self_seconds * 1e3:.1f}",
+            f"{aggregate.total_seconds * 1e3:.1f}",
+        )
+        for aggregate in aggregate_spans(document)[:8]
+    ]
+    print(ascii_table(("span", "count", "self (ms)", "total (ms)"), rows))
+
+    OUT.mkdir(exist_ok=True)
+    json_path = write_trace_document(document, OUT / "trace.json", "json")
+    chrome_path = write_trace_document(document, OUT / "trace_chrome.json", "chrome")
+    print(f"\nwrote {json_path}")
+    print(f"wrote {chrome_path}  (load at https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ from ..nn.data import Dataset
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 
 __all__ = ["jacobian_step", "jacobian_augment", "AugmentationResult"]
 
@@ -87,12 +88,15 @@ def jacobian_augment(
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
     metrics = get_metrics()
+    tracer = get_tracer()
     rng = rng or np.random.default_rng(0)
-    with metrics.timer("attack.augment"):
+    with metrics.timer("attack.augment"), tracer.span(
+        "attack.augment", {"rounds": rounds, "seed_samples": len(seed.images)}
+    ):
         images = seed.images.copy()
         labels = query_victim(images)
         queries = len(images)
-        for _ in range(rounds):
+        for round_index in range(rounds):
             base = images
             if max_samples is not None and 2 * len(base) > max_samples:
                 keep = max_samples - len(base)
@@ -103,10 +107,16 @@ def jacobian_augment(
                 base_labels = labels[choice]
             else:
                 base_labels = labels
-            new_images = jacobian_step(substitute, base, base_labels, lambda_=lambda_)
-            new_labels = query_victim(new_images)
-            queries += len(new_images)
-            metrics.count("attack.augmentation_rounds")
+            with tracer.span("attack.augment.round", {"round": round_index}) as span:
+                new_images = jacobian_step(
+                    substitute, base, base_labels, lambda_=lambda_
+                )
+                new_labels = query_victim(new_images)
+                queries += len(new_images)
+                metrics.count("attack.augmentation_rounds")
+                if span:
+                    span.set_attr("new_samples", len(new_images))
+                    span.set_attr("total_samples", len(images) + len(new_images))
             images = np.concatenate([images, new_images], axis=0)
             labels = np.concatenate([labels, new_labels], axis=0)
             if train_between_rounds is not None:

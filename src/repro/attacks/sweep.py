@@ -60,6 +60,7 @@ from ..nn.data import SyntheticCIFAR10, train_adversary_split
 from ..nn.layers import set_init_rng
 from ..nn.models import build_model
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.trace import get_tracer, worker_tracer
 from ..sim.parallel import resolve_jobs
 from .security import SecurityExperimentConfig, SecurityOutcome, _train_victim
 from .substitute import (
@@ -318,7 +319,16 @@ def run_cell(unit: SweepUnit) -> CellResult:
     substitute with the serial experiment's exact seeding, evaluate."""
     experiment = unit.experiment
     metrics = get_metrics()
-    with metrics.timer("sweep.cell"):
+    tracer = get_tracer()
+    with metrics.timer("sweep.cell"), tracer.span(
+        "sweep.cell",
+        {
+            "label": unit.label,
+            "adversary": unit.adversary,
+            "ratio": unit.ratio,
+            "variant": unit.variant,
+        },
+    ):
         victim, test_set, adversary_seed, victim_accuracy = _victim_context(experiment)
 
         def builder():
@@ -555,9 +565,13 @@ class SweepResult:
         return "\n\n".join(parts)
 
 
-def _pool_worker(unit: SweepUnit) -> tuple[CellResult, dict[str, object], float]:
+def _pool_worker(
+    unit: SweepUnit,
+) -> tuple[CellResult, dict[str, object], float, list[dict[str, object]]]:
     """Worker entry point: compute one cell in a fresh metrics registry.
 
+    Returns ``(result, metrics snapshot, wall seconds, span dicts)`` — the
+    spans are empty unless the parent enabled tracing (``REPRO_TRACE``).
     The chaos probe lets the hardening suite crash/hang/fail a chosen cell
     by label (no-op unless ``REPRO_CHAOS`` is set).
     """
@@ -567,10 +581,12 @@ def _pool_worker(unit: SweepUnit) -> tuple[CellResult, dict[str, object], float]
     previous = set_metrics(local)
     start = time.perf_counter()
     try:
-        result = run_cell(unit)
+        with worker_tracer() as tracer:
+            result = run_cell(unit)
     finally:
         set_metrics(previous)
-    return result, local.snapshot(), time.perf_counter() - start
+    spans = tracer.span_dicts() if tracer is not None else []
+    return result, local.snapshot(), time.perf_counter() - start, spans
 
 
 def run_sweep(
@@ -606,6 +622,7 @@ def run_sweep(
     units = list(units)
     jobs = resolve_jobs(jobs)
     metrics = metrics if metrics is not None else get_metrics()
+    tracer = get_tracer()
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
 
     keys = [unit.key() for unit in units]
@@ -635,7 +652,10 @@ def run_sweep(
 
     todo = [(key, unit.label, unit) for key, unit in pending.items()]
     if todo:
-        with metrics.timer("sweep.compute"):
+        with metrics.timer("sweep.compute"), tracer.span(
+            "sweep.run_sweep",
+            {"cells": len(units), "pending": len(todo), "jobs": jobs},
+        ) as dispatch:
             if jobs == 1 or len(todo) == 1:
                 # Route run_cell's ambient instrumentation (cell timers,
                 # train/augmentation counters) into this run's registry,
@@ -666,9 +686,11 @@ def run_sweep(
                 metrics.count("sweep.pools")
 
                 def pool_deliver(key: str, unit: object, outcome: object) -> None:
-                    result, snapshot, seconds = outcome  # type: ignore[misc]
+                    result, snapshot, seconds, spans = outcome  # type: ignore[misc]
                     resolved[key] = result
                     metrics.merge(snapshot)
+                    if dispatch:
+                        tracer.adopt(spans, parent=dispatch)
                     checkpoint(unit, result, seconds)  # type: ignore[arg-type]
 
                 run_hardened(

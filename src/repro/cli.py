@@ -3,17 +3,24 @@
 Commands
 --------
 ``plan``            build and print a smart-encryption plan (optionally save JSON)
-``simulate``        run a model under the five schemes on the GTX480 model
+``simulate``        run a model under the five schemes (alias: ``run``)
 ``snoop``           summarize what a bus adversary learns at a given ratio
 ``table1``          print the AES engine survey
 ``figure``          regenerate one of the paper's performance figures (1/5/6/7/8)
 ``security-sweep``  checkpointed Figure-3/4 substitute sweep (docs/threat-model.md)
 ``faults``          bus-tampering fault-injection campaign (docs/fault-model.md)
+``trace``           run any other command with tracing enabled (docs/tracing.md)
+``report``          render a text run report from a metrics/trace pair
 
 ``simulate``, ``figure`` and ``security-sweep`` accept ``--jobs N`` to fan
 independent work over a process pool and ``--metrics-out PATH`` to write
 the run's counters/timers/cache statistics as JSON (schema
-``repro.metrics/v1``; see docs/metrics.md).  ``security-sweep``
+``repro.metrics/v1``; see docs/metrics.md).  Every command also accepts
+``--trace-out PATH`` plus ``--format json|chrome`` to record a
+hierarchical span trace of the run (schema ``repro.trace/v1``; the chrome
+format loads directly in Perfetto — see docs/tracing.md), and
+``repro report --metrics m.json --trace t.json`` turns such a pair into a
+human-readable profile.  ``security-sweep``
 additionally checkpoints every finished cell under ``--checkpoint-dir``
 and, with ``--resume``, skips cells a previous (possibly killed) run
 already completed; ``--max-attempts``/``--unit-timeout`` arm the hardened
@@ -38,6 +45,7 @@ from .core.serialize import save_plan
 from .eval.reporting import ascii_table
 from .nn.models import MODEL_BUILDERS, build_model
 from .obs.metrics import get_metrics, reset_metrics
+from .obs.trace import disable_tracing, enable_tracing, write_trace_document
 from .sim.runner import SCHEMES, compare_schemes
 
 __all__ = ["main"]
@@ -256,6 +264,37 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("usage: repro trace [--out PATH] [--format F] <command> ...", file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("trace cannot wrap itself", file=sys.stderr)
+        return 2
+    return main(rest + ["--trace-out", args.out, "--format", args.trace_format])
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.metrics import METRICS_SCHEMA
+    from .obs.report import load_document, render_report
+    from .obs.trace import TRACE_SCHEMA
+
+    if not args.metrics and not args.trace:
+        print("report needs --metrics and/or --trace", file=sys.stderr)
+        return 2
+    try:
+        metrics = load_document(args.metrics, METRICS_SCHEMA) if args.metrics else None
+        trace = load_document(args.trace, TRACE_SCHEMA) if args.trace else None
+    except (OSError, ValueError) as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 2
+    print(render_report(metrics, trace, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -274,9 +313,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="channel-width scale factor (training-scale models use <1)",
         )
 
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out", metavar="PATH",
+            help="record a hierarchical span trace of the run (docs/tracing.md)",
+        )
+        p.add_argument(
+            "--format", dest="trace_format", choices=["json", "chrome"],
+            default="json",
+            help="trace export format: repro.trace/v1 JSON or Chrome "
+            "trace events (Perfetto-loadable)",
+        )
+
     p_plan = sub.add_parser("plan", help="build and print a SEAL plan")
     add_model_args(p_plan)
     p_plan.add_argument("--output", help="write the plan as JSON")
+    add_trace_args(p_plan)
     p_plan.set_defaults(func=_cmd_plan)
 
     def jobs_count(text: str) -> int:
@@ -295,9 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="write run metrics (counters/timers/cache stats) as JSON",
         )
 
-    p_sim = sub.add_parser("simulate", help="simulate schemes on the GTX480 model")
+    p_sim = sub.add_parser(
+        "simulate", aliases=["run"],
+        help="simulate schemes on the GTX480 model (alias: run)",
+    )
     add_model_args(p_sim)
     add_runner_args(p_sim)
+    add_trace_args(p_sim)
     p_sim.add_argument(
         "--schemes", help=f"comma-separated subset of {','.join(SCHEMES)}"
     )
@@ -305,14 +361,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_snoop = sub.add_parser("snoop", help="what a bus adversary learns")
     add_model_args(p_snoop)
+    add_trace_args(p_snoop)
     p_snoop.set_defaults(func=_cmd_snoop)
 
     p_table = sub.add_parser("table1", help="AES engine survey (Table I)")
+    add_trace_args(p_table)
     p_table.set_defaults(func=_cmd_table1)
 
     p_fig = sub.add_parser("figure", help="regenerate a performance figure")
     p_fig.add_argument("number", choices=["1", "5", "6", "7", "8"])
     add_runner_args(p_fig)
+    add_trace_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -363,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill a cell running longer than this (needs --jobs > 1)",
     )
     add_runner_args(p_sweep)
+    add_trace_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_security_sweep)
 
     p_faults = sub.add_parser(
@@ -400,7 +460,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="write campaign metrics (counters/timers) as JSON",
     )
+    add_trace_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run any other repro command with tracing enabled",
+        description="Wraps another command: `repro trace simulate --model mlp` "
+        "behaves exactly like `repro simulate --model mlp --trace-out trace.json`.",
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="trace output path (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--format", dest="trace_format", choices=["json", "chrome"],
+        default="json", help="trace export format",
+    )
+    p_trace.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command",
+        help="the repro command (with its arguments) to trace",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a text run report from --metrics-out/--trace-out files",
+    )
+    p_report.add_argument(
+        "--metrics", metavar="PATH", help="repro.metrics/v1 document"
+    )
+    p_report.add_argument(
+        "--trace", metavar="PATH", help="repro.trace/v1 document"
+    )
+    p_report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="spans to list in the self-time ranking (default 10)",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     return parser
 
@@ -408,11 +505,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    code = args.func(args)
-    metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out:
-        path = get_metrics().emit(metrics_out)
-        print(f"metrics written to {path}")
+    trace_out = getattr(args, "trace_out", None)
+    tracer = enable_tracing() if trace_out else None
+    try:
+        code = args.func(args)
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            path = get_metrics().emit(metrics_out)
+            print(f"metrics written to {path}")
+        if trace_out:
+            path = write_trace_document(
+                tracer.snapshot(), trace_out, getattr(args, "trace_format", "json")
+            )
+            print(f"trace written to {path}")
+    finally:
+        if tracer is not None:
+            disable_tracing()
     return code
 
 

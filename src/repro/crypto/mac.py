@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .aes import BLOCK_SIZE
 from .fastpath import GF128Table, block_backend
 
@@ -121,7 +122,10 @@ class LineAuthenticator:
     def tag(self, address: int, counter: int, ciphertext: bytes) -> bytes:
         """Authentication tag for a ciphertext line."""
         metrics = get_metrics()
-        with metrics.timer("crypto.gmac"):
+        with metrics.timer("crypto.gmac"), get_tracer().span("crypto.gmac") as span:
+            if span:
+                span.set_attr("op", "tag")
+                span.set_attr("backend", self.backend)
             digest = self._digest(ciphertext)
             mask = self._mask(address, counter)
             metrics.count("crypto.gmac.tags")
@@ -156,7 +160,11 @@ class LineAuthenticator:
         if any(len(ciphertext) != length for ciphertext in ciphertexts):
             raise ValueError("batched ciphertext lines must share one length")
         metrics = get_metrics()
-        with metrics.timer("crypto.gmac"):
+        with metrics.timer("crypto.gmac"), get_tracer().span("crypto.gmac") as span:
+            if span:
+                span.set_attr("op", "tag_lines")
+                span.set_attr("lines", len(ciphertexts))
+                span.set_attr("backend", self.backend)
             length_block = struct.pack(">QQ", 0, length * 8)
             padding = bytes(-(length + len(length_block)) % BLOCK_SIZE)
             stream = b"".join(

@@ -37,6 +37,7 @@ import struct
 from typing import Sequence
 
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .aes import BLOCK_SIZE
 from .fastpath import block_backend, ctr_seeds
 
@@ -91,20 +92,30 @@ class DirectEncryptor:
         """Encrypt a cache line stored at ``address``."""
         self._check_length(plaintext)
         metrics = get_metrics()
-        with metrics.timer("crypto.direct"):
-            tweaks = self._tweaks(address, len(plaintext) // BLOCK_SIZE)
+        n_blocks = len(plaintext) // BLOCK_SIZE
+        with metrics.timer("crypto.direct"), get_tracer().span("crypto.direct") as span:
+            if span:
+                span.set_attr("op", "encrypt")
+                span.set_attr("blocks", n_blocks)
+                span.set_attr("backend", self.backend)
+            tweaks = self._tweaks(address, n_blocks)
             out = self._cipher.encrypt_many(_xor_bytes(plaintext, tweaks))
-            metrics.count("crypto.direct.blocks", len(plaintext) // BLOCK_SIZE)
+            metrics.count("crypto.direct.blocks", n_blocks)
             return _xor_bytes(out, tweaks)
 
     def decrypt_line(self, address: int, ciphertext: bytes) -> bytes:
         """Decrypt a cache line stored at ``address``."""
         self._check_length(ciphertext)
         metrics = get_metrics()
-        with metrics.timer("crypto.direct"):
-            tweaks = self._tweaks(address, len(ciphertext) // BLOCK_SIZE)
+        n_blocks = len(ciphertext) // BLOCK_SIZE
+        with metrics.timer("crypto.direct"), get_tracer().span("crypto.direct") as span:
+            if span:
+                span.set_attr("op", "decrypt")
+                span.set_attr("blocks", n_blocks)
+                span.set_attr("backend", self.backend)
+            tweaks = self._tweaks(address, n_blocks)
             out = self._cipher.decrypt_many(_xor_bytes(ciphertext, tweaks))
-            metrics.count("crypto.direct.blocks", len(ciphertext) // BLOCK_SIZE)
+            metrics.count("crypto.direct.blocks", n_blocks)
             return _xor_bytes(out, tweaks)
 
     @staticmethod
@@ -173,12 +184,18 @@ class CounterModeEncryptor:
         """
         if self._track_pad_reuse:
             self._note_pad(address, counter)
-        with get_metrics().timer("crypto.ctr"):
+        with get_metrics().timer("crypto.ctr"), get_tracer().span("crypto.ctr") as span:
+            if span:
+                span.set_attr("op", "encrypt")
+                span.set_attr("backend", self.backend)
             return _xor_bytes(plaintext, self._pad(address, counter, len(plaintext)))
 
     def decrypt_line(self, address: int, counter: int, ciphertext: bytes) -> bytes:
         """Decrypt ``ciphertext`` at ``address`` using ``counter``."""
-        with get_metrics().timer("crypto.ctr"):
+        with get_metrics().timer("crypto.ctr"), get_tracer().span("crypto.ctr") as span:
+            if span:
+                span.set_attr("op", "decrypt")
+                span.set_attr("backend", self.backend)
             return _xor_bytes(ciphertext, self._pad(address, counter, len(ciphertext)))
 
     # ------------------------------------------------------------------
@@ -224,7 +241,12 @@ class CounterModeEncryptor:
         n_blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
         padded = n_blocks * BLOCK_SIZE
         metrics = get_metrics()
-        with metrics.timer("crypto.ctr"):
+        with metrics.timer("crypto.ctr"), get_tracer().span("crypto.ctr") as span:
+            if span:
+                span.set_attr("op", "batch")
+                span.set_attr("lines", len(lines))
+                span.set_attr("blocks", n_blocks * len(lines))
+                span.set_attr("backend", self.backend)
             pad = self._cipher.encrypt_many(
                 ctr_seeds(addresses, counters, n_blocks)
             )

@@ -24,6 +24,7 @@ from ..core.plan import ModelEncryptionPlan
 from ..crypto.engine import ENGINE_SURVEY
 from ..nn.models import build_model
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..sim.parallel import SimUnit, SimulationCache, run_units
 from ..sim.runner import (
     SCHEMES,
@@ -135,7 +136,9 @@ def fig1_straightforward(
         )
         for kb in cache_sizes_kb
     ]
-    with get_metrics().timer("eval.fig1"):
+    with get_metrics().timer("eval.fig1"), get_tracer().span(
+        "eval.fig1", {"matmul": list(matmul_shape)}
+    ):
         results = run_units(units, jobs=jobs, cache=cache)
     ipc = {label: result.ipc for label, result in zip(labels, results)}
     hit_rates = {
@@ -280,7 +283,9 @@ def _layer_sweep(
         for name in layer_names
         for scheme in schemes
     ]
-    with get_metrics().timer("eval.layer_sweep"):
+    with get_metrics().timer("eval.layer_sweep"), get_tracer().span(
+        "eval.layer_sweep", {"title": title, "layers": len(layer_names)}
+    ):
         results = run_units(units, jobs=jobs, cache=cache)
     normalized: dict[str, list[float]] = {scheme: [] for scheme in schemes}
     for index in range(len(layer_names)):
@@ -436,7 +441,9 @@ def _model_sweep(
         plan = ModelEncryptionPlan.build(
             model, ratio, input_shape=(3, input_size, input_size)
         )
-        with metrics.timer("eval.model_sweep"):
+        with metrics.timer("eval.model_sweep"), get_tracer().span(
+            "eval.model_sweep", {"model": model_name}
+        ):
             per_scheme = compare_schemes(plan, schemes, jobs=jobs, cache=cache)
         baseline: ModelRunResult | None = None
         for scheme in schemes:

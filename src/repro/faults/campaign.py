@@ -41,6 +41,7 @@ import random
 from dataclasses import asdict, dataclass, field
 
 from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.trace import get_tracer
 from .tamper import MAC_BYTES, LINE_BYTES, ProtectedImage, TamperError, TamperingBus
 
 __all__ = [
@@ -291,7 +292,17 @@ def run_fault_campaign(
             f"{len(encrypted)} encrypted / {len(plaintext)} plaintext "
             f"(ratio {config.ratio}, {len(image.lines)} lines)"
         )
-    with metrics.timer("faults.campaign"):
+    tracer = get_tracer()
+    with metrics.timer("faults.campaign"), tracer.span(
+        "faults.campaign",
+        {
+            "model": image.model_name,
+            "ratio": config.ratio,
+            "authenticate": config.authenticate,
+            "encrypted_lines": len(encrypted),
+            "plaintext_lines": len(plaintext),
+        },
+    ):
         bus = TamperingBus(
             image,
             tag_bytes=config.tag_bytes,
@@ -343,23 +354,40 @@ def run_fault_campaign(
                 targets.append("plaintext")
             for target in targets:
                 population = encrypted if target == "encrypted" else plaintext
-                for address in _sample(rng, population, config.faults_per_class):
-                    inject(fault, target, address)
-                    outcome = bus.read(address)
-                    record = FaultRecord(
-                        fault=fault,
-                        target=target,
-                        address=address,
-                        detected=outcome.detected,
-                        corrupted=outcome.corrupted,
-                    )
-                    result.records.append(record)
-                    metrics.count("faults.injected")
-                    if record.detected:
-                        metrics.count("faults.detected")
-                    if record.silent and target == "plaintext":
-                        metrics.count("faults.silent.plaintext")
-                    if not record.detected and target == "encrypted":
-                        metrics.count("faults.undetected.encrypted")
-                    bus.restore(address)
+                with tracer.span(
+                    "faults.scenario", {"fault": fault, "target": target}
+                ) as scenario:
+                    detected_count = 0
+                    for address in _sample(rng, population, config.faults_per_class):
+                        inject(fault, target, address)
+                        outcome = bus.read(address)
+                        record = FaultRecord(
+                            fault=fault,
+                            target=target,
+                            address=address,
+                            detected=outcome.detected,
+                            corrupted=outcome.corrupted,
+                        )
+                        result.records.append(record)
+                        metrics.count("faults.injected")
+                        if record.detected:
+                            detected_count += 1
+                            metrics.count("faults.detected")
+                        if record.silent and target == "plaintext":
+                            metrics.count("faults.silent.plaintext")
+                        if not record.detected and target == "encrypted":
+                            metrics.count("faults.undetected.encrypted")
+                        if scenario:
+                            scenario.event(
+                                "injection",
+                                {
+                                    "address": address,
+                                    "detected": record.detected,
+                                    "corrupted": record.corrupted,
+                                },
+                            )
+                        bus.restore(address)
+                    if scenario:
+                        scenario.set_attr("injected", config.faults_per_class)
+                        scenario.set_attr("detected", detected_count)
     return result

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from . import functional as F
 from .data import Dataset, batch_iterator
 from .layers import Module
@@ -95,13 +96,20 @@ def fit(
     if epochs <= 0:
         raise ValueError("epochs must be positive")
     metrics = get_metrics()
+    tracer = get_tracer()
     report = TrainReport()
-    with metrics.timer("train.fit"):
+    with metrics.timer("train.fit"), tracer.span(
+        "train.fit", {"epochs": epochs, "batch_size": batch_size}
+    ):
         for epoch in range(epochs):
-            loss, accuracy = train_epoch(
-                model, train_set, optimizer, batch_size=batch_size, seed=seed + epoch
-            )
-            metrics.count("train.epochs")
+            with tracer.span("train.epoch", {"epoch": epoch}) as span:
+                loss, accuracy = train_epoch(
+                    model, train_set, optimizer, batch_size=batch_size, seed=seed + epoch
+                )
+                metrics.count("train.epochs")
+                if span:
+                    span.set_attr("loss", round(loss, 6))
+                    span.set_attr("accuracy", round(accuracy, 6))
             report.train_loss.append(loss)
             report.train_accuracy.append(accuracy)
             if eval_set is not None:

@@ -1,4 +1,5 @@
-"""Lightweight observability: counters, timers, and JSON metric emission."""
+"""Lightweight observability: counters/timers, hierarchical tracing, and
+JSON emission (``repro.metrics/v1`` + ``repro.trace/v1``)."""
 
 from .metrics import (
     METRICS_SCHEMA,
@@ -8,6 +9,25 @@ from .metrics import (
     reset_metrics,
     set_metrics,
 )
+from .report import aggregate_spans, render_report
+from .trace import (
+    TRACE_ENV_VAR,
+    TRACE_SCHEMA,
+    Span,
+    SpanEvent,
+    Tracer,
+    chrome_trace_events,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    reset_tracer,
+    set_tracer,
+    tracing_enabled,
+    worker_tracer,
+    write_chrome_trace,
+    write_trace,
+    write_trace_document,
+)
 
 __all__ = [
     "METRICS_SCHEMA",
@@ -16,4 +36,22 @@ __all__ = [
     "get_metrics",
     "reset_metrics",
     "set_metrics",
+    "TRACE_ENV_VAR",
+    "TRACE_SCHEMA",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "reset_tracer",
+    "set_tracer",
+    "tracing_enabled",
+    "worker_tracer",
+    "write_chrome_trace",
+    "write_trace",
+    "write_trace_document",
+    "aggregate_spans",
+    "render_report",
 ]

@@ -26,15 +26,17 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
 
 __all__ = [
     "METRICS_SCHEMA",
+    "RESERVOIR_SIZE",
     "TimerStat",
     "MetricsRegistry",
     "get_metrics",
@@ -45,44 +47,111 @@ __all__ = [
 #: Version tag written into every emitted metrics document.
 METRICS_SCHEMA = "repro.metrics/v1"
 
+#: Bounded per-timer reservoir feeding the p50/p95/p99 estimates — large
+#: enough for stable tail estimates on the workloads here, small enough
+#: that a serialised timer stays a few hundred bytes.
+RESERVOIR_SIZE = 64
+
 
 @dataclass
 class TimerStat:
-    """Aggregate of one named timer: count / total / min / max seconds."""
+    """Aggregate of one named timer: count / total / min / max seconds,
+    plus a bounded reservoir sample feeding p50/p95/p99 estimates.
+
+    The reservoir holds at most :data:`RESERVOIR_SIZE` observations,
+    selected by standard reservoir sampling with a deterministic RNG (the
+    same observation sequence always keeps the same sample, so parallel
+    and serial runs of identical work serialise identically).  Quantiles
+    are nearest-rank estimates over the sample — exact below
+    ``RESERVOIR_SIZE`` observations, approximate above.
+    """
 
     count: int = 0
     total_seconds: float = 0.0
     min_seconds: float = math.inf
     max_seconds: float = 0.0
+    samples: list[float] = field(default_factory=list, repr=False)
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(0x5EA1), repr=False, compare=False
+    )
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total_seconds += seconds
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = seconds
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the reservoir (0.0 empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_dict(self) -> dict[str, object]:
+        min_seconds = self.min_seconds if math.isfinite(self.min_seconds) else 0.0
         return {
             "count": self.count,
             "total_seconds": self.total_seconds,
-            "min_seconds": self.min_seconds if self.count else 0.0,
+            "min_seconds": min_seconds if self.count else 0.0,
             "max_seconds": self.max_seconds,
             "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "samples": list(self.samples),
         }
 
-    def merge(self, other: dict[str, float]) -> None:
-        """Fold a serialised :meth:`to_dict` aggregate into this one."""
-        count = int(other.get("count", 0))
+    def merge(self, other: dict[str, object]) -> None:
+        """Fold a serialised :meth:`to_dict` aggregate into this one.
+
+        Robust to hand-built or partial aggregates: a missing or
+        non-finite ``min_seconds`` never poisons this side's minimum (the
+        historical bug left ``min_seconds = inf`` on a stat whose only
+        observations arrived via merge, which then serialised as the
+        non-JSON token ``Infinity``), and min/max are only consulted on
+        the side that actually observed something.
+        """
+        count = int(other.get("count", 0))  # type: ignore[arg-type]
         if count <= 0:
             return
         self.count += count
-        self.total_seconds += float(other.get("total_seconds", 0.0))
-        self.min_seconds = min(self.min_seconds, float(other.get("min_seconds", math.inf)))
-        self.max_seconds = max(self.max_seconds, float(other.get("max_seconds", 0.0)))
+        self.total_seconds += float(other.get("total_seconds", 0.0))  # type: ignore[arg-type]
+        other_min = float(other.get("min_seconds", math.inf))  # type: ignore[arg-type]
+        if math.isfinite(other_min):
+            self.min_seconds = min(self.min_seconds, other_min)
+        self.max_seconds = max(self.max_seconds, float(other.get("max_seconds", 0.0)))  # type: ignore[arg-type]
+        self._merge_samples(other.get("samples") or ())  # type: ignore[arg-type]
+
+    def _merge_samples(self, samples: Sequence[float]) -> None:
+        """Fold another reservoir in, keeping quantile structure.
+
+        Oversized unions are compacted to evenly-spaced order statistics of
+        the sorted union — a deterministic sketch compaction that
+        preserves quantile estimates far better than random eviction.
+        """
+        if not samples:
+            return
+        union = self.samples + [float(value) for value in samples]
+        if len(union) <= RESERVOIR_SIZE:
+            self.samples = union
+            return
+        union.sort()
+        step = (len(union) - 1) / (RESERVOIR_SIZE - 1)
+        self.samples = [union[round(index * step)] for index in range(RESERVOIR_SIZE)]
 
 
 @dataclass
@@ -136,6 +205,13 @@ class MetricsRegistry:
             timers = {
                 name: stat.to_dict() for name, stat in sorted(self.timers.items())
             }
+        def ratio(numerator: float, denominator: float) -> float | None:
+            """Guarded division: every derived ratio goes through here, so
+            a zero or missing denominator yields absence, never a crash."""
+            if not denominator:
+                return None
+            return numerator / denominator
+
         derived: dict[str, float] = {"cache_hit_rate": self.cache_hit_rate()}
         kernel = timers.get("sim.kernel")
         if kernel:
@@ -144,30 +220,34 @@ class MetricsRegistry:
         if cell:
             derived["mean_cell_seconds"] = cell["mean_seconds"]
         queries = counters.get("attack.queries")
-        if queries and cell and cell["count"]:
-            derived["queries_per_cell"] = queries / cell["count"]
-        injected = counters.get("faults.injected")
-        if injected:
-            derived["fault_detection_rate"] = (
-                counters.get("faults.detected", 0) / injected
-            )
-        attempts = counters.get("runner.attempts")
-        if attempts:
-            derived["runner_retry_rate"] = (
-                counters.get("runner.retries", 0) / attempts
-            )
+        if queries and cell:
+            queries_per_cell = ratio(queries, cell["count"])
+            if queries_per_cell is not None:
+                derived["queries_per_cell"] = queries_per_cell
+        detection = ratio(
+            counters.get("faults.detected", 0), counters.get("faults.injected", 0)
+        )
+        if detection is not None:
+            derived["fault_detection_rate"] = detection
+        retry_rate = ratio(
+            counters.get("runner.retries", 0), counters.get("runner.attempts", 0)
+        )
+        if retry_rate is not None:
+            derived["runner_retry_rate"] = retry_rate
         ctr = timers.get("crypto.ctr")
-        ctr_blocks = counters.get("crypto.ctr.blocks")
-        if ctr and ctr_blocks and ctr["total_seconds"] > 0:
-            derived["crypto_ctr_blocks_per_second"] = (
-                ctr_blocks / ctr["total_seconds"]
+        if ctr:
+            ctr_rate = ratio(
+                counters.get("crypto.ctr.blocks", 0), ctr["total_seconds"]
             )
+            if ctr_rate:
+                derived["crypto_ctr_blocks_per_second"] = ctr_rate
         gmac = timers.get("crypto.gmac")
-        gmac_tags = counters.get("crypto.gmac.tags")
-        if gmac and gmac_tags and gmac["total_seconds"] > 0:
-            derived["crypto_gmac_tags_per_second"] = (
-                gmac_tags / gmac["total_seconds"]
+        if gmac:
+            gmac_rate = ratio(
+                counters.get("crypto.gmac.tags", 0), gmac["total_seconds"]
             )
+            if gmac_rate:
+                derived["crypto_gmac_tags_per_second"] = gmac_rate
         return {
             "schema": METRICS_SCHEMA,
             "counters": counters,

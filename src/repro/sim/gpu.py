@@ -11,9 +11,11 @@ unencrypted baseline).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .config import EncryptionMode, GpuConfig
 from .memctrl import MemoryController
 from .request import MemRequest
@@ -102,10 +104,50 @@ class GpuSimulator:
         """
         metrics = get_metrics()
         metrics.count("sim.kernel_runs")
-        with metrics.timer("sim.kernel"):
-            result = self._run(streams, label)
+        tracer = get_tracer()
+        with tracer.span("sim.kernel") as span:
+            wall_start = time.time()
+            with metrics.timer("sim.kernel"):
+                result = self._run(streams, label)
+            if span:
+                self._annotate_span(span, result, wall_start)
         metrics.count("sim.data_bytes", result.data_bytes)
         return result
+
+    def _annotate_span(self, span, result: SimResult, wall_start: float) -> None:
+        """Attach the kernel's attrs, AES-engine occupancy and counter-cache
+        events, and per-SM occupancy child spans (tracing-enabled only).
+
+        SM rows live in the cycle domain; for the wall-clock trace each SM
+        gets a child span scaled to its busy-cycle share of the kernel, so
+        Perfetto shows relative occupancy without pretending the simulator
+        replayed real time.
+        """
+        tracer = get_tracer()
+        span.set_attr("label", result.label)
+        span.set_attr("cycles", result.cycles)
+        span.set_attr("instructions", result.instructions)
+        span.set_attr("encryption", self.config.encryption.mode.name)
+        span.set_attr("dram_utilization", round(result.dram_utilization, 6))
+        for controller in self.controllers:
+            for name, attrs in controller.trace_events(result.cycles):
+                span.event(name, attrs)
+        wall = time.time() - wall_start
+        for sm_id, stats in enumerate(result.sm_stats):
+            share = stats.busy_cycles / result.cycles if result.cycles else 0.0
+            tracer.add_span(
+                "sim.sm",
+                wall_start,
+                wall * share,
+                attrs={
+                    "sm": sm_id,
+                    "lane": True,
+                    "busy_cycles": round(stats.busy_cycles, 3),
+                    "instructions": stats.instructions,
+                },
+                tid=f"sm{sm_id}",
+                parent=span,
+            )
 
     def _run(self, streams: list[list[TileStep]], label: str = "") -> SimResult:
         if len(streams) > self.config.num_sms:

@@ -193,6 +193,48 @@ class MemoryController:
         return tag_done
 
     # ------------------------------------------------------------------
+    def trace_events(self, elapsed_cycles: float) -> list[tuple[str, dict]]:
+        """This channel's observability events for a kernel's trace span.
+
+        One ``aes_engine`` occupancy event (when encryption is on) and one
+        ``counter_cache`` event (counter mode only) summarising the
+        channel — the per-request paths stay untraced on purpose, since a
+        kernel issues thousands of requests and a span event per request
+        would swamp both the trace document and the hot path.
+        """
+        events: list[tuple[str, dict]] = []
+        if self.engine is not None:
+            events.append(
+                (
+                    "aes_engine",
+                    {
+                        "channel": self.channel_id,
+                        "busy_cycles": round(self.engine.busy_cycles, 3),
+                        "lines": self.engine.lines_processed,
+                        "bytes": self.engine.bytes_processed,
+                        "utilization": round(
+                            self.engine.utilization(int(elapsed_cycles or 1)), 6
+                        ),
+                    },
+                )
+            )
+        if self.counter_cache is not None:
+            stats = self.counter_cache.stats
+            events.append(
+                (
+                    "counter_cache",
+                    {
+                        "channel": self.channel_id,
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "evictions": stats.evictions,
+                        "reencryptions": stats.reencryptions,
+                        "counter_fetch_bytes": self.stats.counter_fetch_bytes,
+                    },
+                )
+            )
+        return events
+
     @property
     def counter_hit_rate(self) -> float:
         if self.counter_cache is None:

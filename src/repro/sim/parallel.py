@@ -38,6 +38,7 @@ from ..core.memory import SecureHeap
 from ..core.plan import LayerTraffic
 from ..faults import CHAOS_ENV_VAR, RetryPolicy, chaos_probe, run_hardened
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.trace import get_tracer, worker_tracer
 from .config import GpuConfig
 from .gpu import GpuSimulator, SimResult
 from .workloads import DEFAULT_TILE, layer_streams
@@ -182,31 +183,42 @@ class SimUnit:
 
 def simulate_unit(unit: SimUnit) -> SimResult:
     """Run one unit cold (no cache, current process)."""
-    simulator = GpuSimulator(unit.config)
-    streams = layer_streams(
-        unit.config, unit.traffic, tile=unit.tile, heap=SecureHeap()
-    )
-    return simulator.run(streams, label=unit.label)
+    tracer = get_tracer()
+    with tracer.span(
+        "sim.unit", {"label": unit.label, "tile": unit.tile} if tracer.enabled else None
+    ):
+        simulator = GpuSimulator(unit.config)
+        with tracer.span("sim.lower"):
+            streams = layer_streams(
+                unit.config, unit.traffic, tile=unit.tile, heap=SecureHeap()
+            )
+        return simulator.run(streams, label=unit.label)
 
 
-def _pool_worker(unit: SimUnit) -> tuple[SimResult, dict[str, object]]:
-    """Worker entry point: simulate and return (result, metrics snapshot).
+def _pool_worker(
+    unit: SimUnit,
+) -> tuple[SimResult, dict[str, object], list[dict[str, object]]]:
+    """Worker entry point: simulate, return (result, metrics, spans).
 
     Each task records into a fresh registry so the parent can merge worker
-    instrumentation without double counting across pool task reuse.  The
-    chaos probe lets the fault-injection suite crash/hang/fail a chosen
-    unit (no-op unless ``REPRO_CHAOS`` is set; the key hash is skipped on
-    the production path).
+    instrumentation without double counting across pool task reuse; when
+    the parent is tracing, a fresh per-task tracer captures the unit's
+    span tree for re-rooting (empty list otherwise).  The chaos probe lets
+    the fault-injection suite crash/hang/fail a chosen unit (no-op unless
+    ``REPRO_CHAOS`` is set; the key hash is skipped on the production
+    path).
     """
     if os.environ.get(CHAOS_ENV_VAR):
         chaos_probe(unit.key(), unit.label)
     local = MetricsRegistry()
     previous = set_metrics(local)
     try:
-        result = simulate_unit(unit)
+        with worker_tracer() as tracer:
+            result = simulate_unit(unit)
     finally:
         set_metrics(previous)
-    return result, local.snapshot()
+    spans = tracer.span_dicts() if tracer is not None else []
+    return result, local.snapshot(), spans
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -244,6 +256,7 @@ def run_units(
     units = list(units)
     jobs = resolve_jobs(jobs)
     metrics = metrics if metrics is not None else get_metrics()
+    tracer = get_tracer()
     store = _resolve_cache(cache)
 
     keys = [unit.key() for unit in units]
@@ -261,7 +274,10 @@ def run_units(
     computed: set[str] = set(pending)
     if pending:
         todo = [(key, unit.label, unit) for key, unit in pending.items()]
-        with metrics.timer("parallel.compute"):
+        with metrics.timer("parallel.compute"), tracer.span(
+            "parallel.run_units",
+            {"units": len(units), "pending": len(todo), "jobs": jobs},
+        ) as dispatch:
             if jobs == 1 or len(todo) == 1:
 
                 def serial_worker(unit: SimUnit) -> SimResult:
@@ -286,9 +302,11 @@ def run_units(
                 metrics.count("parallel.pools")
 
                 def pool_deliver(key: str, unit: object, outcome: object) -> None:
-                    result, snapshot = outcome  # type: ignore[misc]
+                    result, snapshot, spans = outcome  # type: ignore[misc]
                     resolved[key] = result
                     metrics.merge(snapshot)
+                    if dispatch:
+                        tracer.adopt(spans, parent=dispatch)
                     if store is not None:
                         store.put(key, result)
 

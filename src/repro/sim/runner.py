@@ -16,6 +16,7 @@ from ..core.plan import LayerTraffic, ModelEncryptionPlan
 from ..core.memory import SecureHeap
 from ..nn.layers import Module
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .config import EncryptionMode, GpuConfig, gtx480_config
 from .gpu import GpuSimulator, SimResult
 from .parallel import SimUnit, SimulationCache, run_units
@@ -241,8 +242,13 @@ def compare_schemes(
     else:
         plan = ModelEncryptionPlan.build(source, ratio, input_shape=input_shape)
     metrics = get_metrics()
-    with metrics.timer("runner.compare_schemes"):
-        traffics = plan.layer_traffic(include_pools=include_pools, batch=batch)
+    tracer = get_tracer()
+    with metrics.timer("runner.compare_schemes"), tracer.span(
+        "runner.compare_schemes",
+        {"model": plan.model_name, "schemes": list(schemes), "ratio": ratio},
+    ):
+        with tracer.span("runner.lower"):
+            traffics = plan.layer_traffic(include_pools=include_pools, batch=batch)
         units: list[SimUnit] = []
         owners: list[str] = []
         for scheme in schemes:

@@ -1,0 +1,70 @@
+"""Disabled-tracing overhead guard: the wired-in instrumentation must stay
+effectively free when no trace is requested.
+
+Rather than compare two wall-clock runs (noisy on shared CI runners), the
+guard measures the *per-call* cost of the disabled fast path directly,
+counts how many tracer touch-points one representative simulation actually
+executes (by running it once with tracing enabled), and asserts that the
+product stays under 2 % of the run's own wall-clock.  That bounds the same
+quantity a differential benchmark would, without its flakiness.
+"""
+
+import time
+
+from repro.nn.models import build_model
+from repro.obs.trace import Tracer, disable_tracing, enable_tracing, get_tracer
+from repro.sim.runner import compare_schemes
+
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _run(jobs=1):
+    model = build_model("mlp", width_scale=0.25)
+    start = time.perf_counter()
+    compare_schemes(model, ("Baseline", "SEAL-C"), jobs=jobs, cache=False)
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead_under_two_percent():
+    # How many span/event touch-points does the workload execute?
+    tracer = enable_tracing()
+    try:
+        _run()
+        spans = tracer.finished_spans()
+        touch_points = len(spans) + sum(len(span.events) for span in spans)
+    finally:
+        disable_tracing()
+        tracer.reset()
+    assert touch_points > 0
+
+    # Per-call cost of the disabled fast path (span + event, amortised).
+    disabled = get_tracer()
+    assert not disabled.enabled
+    calls = 20_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with disabled.span("guard"):
+            pass
+    per_call = (time.perf_counter() - start) / calls
+
+    # The same workload, tracing off, for the wall-clock denominator.
+    run_seconds = min(_run() for _ in range(3))
+
+    projected_overhead = per_call * touch_points
+    assert projected_overhead < MAX_OVERHEAD_FRACTION * run_seconds, (
+        f"disabled tracing projects to {projected_overhead * 1e3:.2f}ms over "
+        f"{touch_points} touch points against a {run_seconds * 1e3:.1f}ms run "
+        f"({projected_overhead / run_seconds:.2%} > {MAX_OVERHEAD_FRACTION:.0%})"
+    )
+
+
+def test_null_span_fast_path_is_branch_only():
+    """The disabled path allocates nothing per span: the NULL_SPAN sentinel
+    is shared and falsy, so hot paths skip attr/event preparation."""
+    tracer = Tracer(enabled=False)
+    seen = set()
+    for _ in range(3):
+        with tracer.span("x") as span:
+            seen.add(id(span))
+            assert not span
+    assert len(seen) == 1

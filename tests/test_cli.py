@@ -157,6 +157,103 @@ class TestSecuritySweep:
         assert "Fig 4" not in out
 
 
+class TestTraceFlags:
+    @pytest.fixture(autouse=True)
+    def _fresh_run_state(self):
+        """Traces only cover *computed* work and reports cross-check the
+        process-global metrics registry, so clear both the shared unit
+        cache and the registry that earlier CLI tests populated."""
+        from repro.obs.metrics import reset_metrics
+        from repro.sim.parallel import clear_default_cache
+
+        clear_default_cache()
+        reset_metrics()
+        yield
+        clear_default_cache()
+        reset_metrics()
+
+    def test_trace_out_writes_schema_v1(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            ["simulate", "--model", "mlp", "--schemes", "Baseline",
+             "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.trace/v1"
+        names = {span["name"] for span in document["spans"]}
+        assert {"runner.compare_schemes", "sim.unit", "sim.kernel"} <= names
+
+    def test_run_alias_chrome_format_with_pool(self, tmp_path, capsys):
+        """``repro run --jobs 2 --format chrome`` yields a Perfetto-loadable
+        file with one process row per worker, re-rooted under dispatch."""
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["run", "--model", "mlp", "--schemes", "Baseline,SEAL-C",
+             "--jobs", "2", "--trace-out", str(trace_path),
+             "--format", "chrome"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        process_names = {
+            event["args"]["name"]
+            for event in events
+            if event.get("name") == "process_name"
+        }
+        assert "main" in process_names
+        assert any(name.startswith("worker-") for name in process_names)
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {"sim.unit", "parallel.run_units"} <= {
+            event["name"] for event in complete
+        }
+
+    def test_trace_wrapper_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "wrapped.json"
+        code = main(
+            ["trace", "--out", str(path), "simulate", "--model", "mlp",
+             "--schemes", "Baseline"]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.trace/v1"
+        assert any(s["name"] == "sim.kernel" for s in document["spans"])
+
+    def test_trace_wrapper_requires_a_command(self, capsys):
+        assert main(["trace", "--out", "t.json"]) == 2
+        assert "command" in capsys.readouterr().err
+
+    def test_report_from_paired_run(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--model", "mlp", "--schemes", "Baseline,SEAL-C",
+             "--metrics-out", str(metrics_path),
+             "--trace-out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["report", "--metrics", str(metrics_path),
+             "--trace", str(trace_path), "--top", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "top 5 spans by self-time" in out
+        assert "sim.kernel" in out
+        metrics = json.loads(metrics_path.read_text())
+        runs = metrics["counters"]["sim.kernel_runs"]
+        assert f"sim.kernel spans {runs} vs sim.kernel_runs {runs}: ok" in out
+
+    def test_report_rejects_wrong_schema_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "other/v1"}))
+        assert main(["report", "--trace", str(bogus)]) == 2
+        assert "repro.trace/v1" in capsys.readouterr().err
+
+
 class TestOtherSubcommandsSmoke:
     def test_plan_exit_code(self, capsys):
         assert main(["plan", "--model", "mlp"]) == 0

@@ -12,6 +12,7 @@ import repro.core.keys
 import repro.crypto.aes
 import repro.crypto.fastpath
 import repro.faults.campaign
+import repro.obs.trace
 
 
 @pytest.mark.parametrize(
@@ -25,6 +26,7 @@ import repro.faults.campaign
         repro.crypto.aes,
         repro.crypto.fastpath,
         repro.faults.campaign,
+        repro.obs.trace,
     ],
 )
 def test_module_doctests(module):
