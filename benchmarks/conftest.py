@@ -75,6 +75,7 @@ def record_metrics(request):
     """
     from repro.crypto.fastpath import resolve_backend
     from repro.obs.metrics import get_metrics
+    from repro.sim.engine import resolve_sim_backend
 
     out_option = request.config.getoption("--metrics-out")
     out_dir = Path(out_option) if out_option else OUT_DIR
@@ -84,6 +85,7 @@ def record_metrics(request):
         document = get_metrics().snapshot()
         document["benchmark"] = name
         document["crypto_backend"] = resolve_backend()
+        document["sim_backend"] = resolve_sim_backend()
         if payload:
             document["payload"] = payload
         path = out_dir / f"BENCH_{name}.json"

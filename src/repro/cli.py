@@ -31,6 +31,10 @@ plaintext-line integrity gap fails to show.  Its functional crypto runs on
 the vector (NumPy) backend by default; ``--crypto-backend scalar`` (or the
 ``REPRO_CRYPTO_BACKEND`` environment variable) pins the pure-Python oracle
 instead — results are identical by contract (docs/fault-model.md).
+``simulate`` and ``figure`` similarly accept ``--sim-backend
+scalar|vector`` (or ``REPRO_SIM_BACKEND``) to pin the simulator engine;
+the vector default compiles step streams to flat arrays and is an order
+of magnitude faster, with bit-identical results (docs/architecture.md).
 """
 
 from __future__ import annotations
@@ -346,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", metavar="PATH",
             help="write run metrics (counters/timers/cache stats) as JSON",
         )
+        p.add_argument(
+            "--sim-backend", choices=["scalar", "vector"], default=None,
+            help="simulator engine (default: REPRO_SIM_BACKEND or vector); "
+            "results are bit-identical by contract",
+        )
 
     p_sim = sub.add_parser(
         "simulate", aliases=["run"],
@@ -505,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    sim_backend = getattr(args, "sim_backend", None)
+    if sim_backend:
+        # Environment (not a plumbed argument) so simulation worker
+        # processes spawned by --jobs inherit the same engine choice.
+        import os
+
+        from .sim.engine import ENV_VAR as SIM_ENV_VAR
+
+        os.environ[SIM_ENV_VAR] = sim_backend
     trace_out = getattr(args, "trace_out", None)
     tracer = enable_tracing() if trace_out else None
     try:

@@ -139,9 +139,15 @@ class CounterCache:
         self.config = config or CounterCacheConfig()
         self.stats = CounterCacheStats()
         self._on_reencrypt = on_reencrypt
+        # Geometry constants, hoisted out of the per-access path (the
+        # ``num_sets`` property chain re-divides on every lookup, which the
+        # simulator hot loop performs tens of thousands of times per layer).
+        self._num_sets = self.config.num_sets
+        self._block_span = self.config.data_bytes_per_counter_block
+        self._minor_limit = 1 << self.config.minor_counter_bits
         # One OrderedDict per set: maps tag -> _CacheLine, LRU at the front.
         self._sets: list[OrderedDict[int, _CacheLine]] = [
-            OrderedDict() for _ in range(self.config.num_sets)
+            OrderedDict() for _ in range(self._num_sets)
         ]
         # Backing store of architectural counters (what DRAM would hold).
         self._backing: dict[int, int] = {}
@@ -149,9 +155,9 @@ class CounterCache:
     # ------------------------------------------------------------------
     def _locate(self, address: int) -> tuple[int, int, int]:
         """Map a data address to (counter block id, set index, tag)."""
-        block_id = address // self.config.data_bytes_per_counter_block
-        set_index = block_id % self.config.num_sets
-        tag = block_id // self.config.num_sets
+        block_id = address // self._block_span
+        set_index = block_id % self._num_sets
+        tag = block_id // self._num_sets
         return block_id, set_index, tag
 
     def access(self, address: int, *, write: bool = False) -> bool:
@@ -181,11 +187,69 @@ class CounterCache:
             hit = False
         if write:
             value = self.counter_of(address) + 1
-            if value % (1 << self.config.minor_counter_bits) == 0:
+            if value % self._minor_limit == 0:
                 # The line's minor counter wrapped: re-encrypt the whole
                 # block under a fresh epoch, then take the write's bump.
                 value = self._reencrypt_block(block_id, line) + 1
             line.counters[address] = value
+            line.dirty = True
+        return hit
+
+    def access_run(
+        self, block_id: int, count: int, addresses: tuple[int, ...] | None = None
+    ) -> bool:
+        """Batched lookup: ``count`` consecutive line accesses, one block.
+
+        Exactly equivalent to ``count`` :meth:`access` calls whose data
+        lines all fall inside counter block ``block_id`` (the caller must
+        guarantee that — consecutive cache lines of one memory request).
+        Only the first access of such a run can miss (the block is resident
+        afterwards and nothing intervenes), so the run costs one set lookup
+        instead of ``count``; hit/miss statistics, LRU order, evictions and
+        per-line counter state end up identical to the scalar sequence.
+        The vector simulator backend is the consumer; the scalar backend
+        keeps calling :meth:`access` per line, and the differential suite
+        pins the two paths against each other.
+
+        ``addresses`` carries the per-line data addresses for write runs
+        (each write bumps its line's counter, possibly re-encrypting);
+        ``None`` means a read run, which touches no counter state.
+        Returns whether the *first* access of the run hit.
+        """
+        if count <= 0:
+            raise ValueError("run must cover at least one line")
+        set_index = block_id % self._num_sets
+        tag = block_id // self._num_sets
+        cache_set = self._sets[set_index]
+        line = cache_set.get(tag)
+        if line is not None:
+            cache_set.move_to_end(tag)
+            self.stats.hits += count
+            hit = True
+        else:
+            self.stats.misses += 1
+            self.stats.hits += count - 1
+            line = _CacheLine(tag=tag)
+            if len(cache_set) >= self.config.associativity:
+                _, evicted = cache_set.popitem(last=False)
+                self.stats.evictions += 1
+                if evicted.dirty:
+                    self.stats.writebacks += 1
+                    self._backing.update(evicted.counters)
+            cache_set[tag] = line
+            hit = False
+        if addresses is not None:
+            counters = line.counters
+            backing = self._backing
+            limit = self._minor_limit
+            for address in addresses:
+                value = counters.get(address)
+                if value is None:
+                    value = backing.get(address, 0)
+                value += 1
+                if value % limit == 0:
+                    value = self._reencrypt_block(block_id, line) + 1
+                counters[address] = value
             line.dirty = True
         return hit
 

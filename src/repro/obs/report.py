@@ -117,6 +117,12 @@ def _trace_sections(trace: dict[str, object], top: int) -> list[str]:
         f"{len(processes)} process(es) ({', '.join(processes)}), "
         f"root wall-clock {wall:.3f}s"
     ]
+    if not aggregates:
+        # A trace with no (non-lane) spans happens when tracing was enabled
+        # but the command recorded nothing; an empty ranking table would
+        # read as missing data, so say what happened instead.
+        lines.append("no spans recorded — self-time ranking skipped")
+        return lines
     rows = []
     for aggregate in aggregates[:top]:
         share = aggregate.self_seconds / wall if wall else 0.0
@@ -160,6 +166,20 @@ def _metrics_sections(metrics: dict[str, object]) -> list[str]:
         lines.append(
             f"sim cache: {hits} hits / {misses} misses "
             f"(hit rate {hit_rate or 0.0:.1%})"
+        )
+
+    sim_backends = [
+        name.rsplit(".", 1)[1]
+        for name in (metrics.get("counters") or {})  # type: ignore[union-attr]
+        if name.startswith("sim.backend.")
+    ]
+    if sim_backends:
+        runs = sum(
+            _counter(metrics, f"sim.backend.{name}") for name in sim_backends
+        )
+        lines.append(
+            f"sim backend(s): {', '.join(sorted(sim_backends))} "
+            f"({runs} kernel run(s))"
         )
 
     backends = [

@@ -7,6 +7,14 @@ from .config import (
     GpuConfig,
     gtx480_config,
 )
+from .engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledKernel,
+    compile_streams,
+    resolve_sim_backend,
+    run_vector,
+)
 from .gpu import GpuSimulator, SimResult
 from .memctrl import MemoryController, MemoryControllerStats
 from .parallel import (
@@ -43,6 +51,12 @@ from .workloads import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "CompiledKernel",
+    "compile_streams",
+    "resolve_sim_backend",
+    "run_vector",
     "GTX480_CONFIG",
     "EncryptionConfig",
     "EncryptionMode",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from .config import EncryptionMode, GpuConfig
+from .engine import resolve_sim_backend, run_vector
 from .memctrl import MemoryController
 from .request import MemRequest
 from .sm import SmState, SmStats, TileStep
@@ -63,10 +64,20 @@ class SimResult:
 
 
 class GpuSimulator:
-    """Simulate one GPU configuration executing per-SM step streams."""
+    """Simulate one GPU configuration executing per-SM step streams.
 
-    def __init__(self, config: GpuConfig) -> None:
+    Two interchangeable engines drive the same simulation: the ``scalar``
+    backend walks request objects through the controller models one at a
+    time (the readable reference), while the ``vector`` backend
+    (:mod:`repro.sim.engine`) compiles the streams into flat arrays and
+    replays the identical event schedule with primitive operations only —
+    bit-identical results, an order of magnitude faster.  ``backend=None``
+    defers to ``REPRO_SIM_BACKEND`` and then the vector default.
+    """
+
+    def __init__(self, config: GpuConfig, backend: str | None = None) -> None:
         self.config = config
+        self.backend = resolve_sim_backend(backend)
         self.controllers = [
             MemoryController(channel, config) for channel in range(config.num_channels)
         ]
@@ -104,6 +115,7 @@ class GpuSimulator:
         """
         metrics = get_metrics()
         metrics.count("sim.kernel_runs")
+        metrics.count(f"sim.backend.{self.backend}")
         tracer = get_tracer()
         with tracer.span("sim.kernel") as span:
             wall_start = time.time()
@@ -128,6 +140,7 @@ class GpuSimulator:
         span.set_attr("cycles", result.cycles)
         span.set_attr("instructions", result.instructions)
         span.set_attr("encryption", self.config.encryption.mode.name)
+        span.set_attr("sim_backend", self.backend)
         span.set_attr("dram_utilization", round(result.dram_utilization, 6))
         for controller in self.controllers:
             for name, attrs in controller.trace_events(result.cycles):
@@ -150,6 +163,12 @@ class GpuSimulator:
             )
 
     def _run(self, streams: list[list[TileStep]], label: str = "") -> SimResult:
+        if self.backend == "vector":
+            finish_time, sms = run_vector(self.config, self.controllers, streams)
+            return self._collect(label, finish_time, sms)
+        return self._run_scalar(streams, label)
+
+    def _run_scalar(self, streams: list[list[TileStep]], label: str = "") -> SimResult:
         if len(streams) > self.config.num_sms:
             raise ValueError(
                 f"{len(streams)} streams for {self.config.num_sms} SMs"

@@ -13,7 +13,7 @@ class Access(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemRequest:
     """One coalesced memory transaction.
 

@@ -19,7 +19,7 @@ from .request import MemRequest
 __all__ = ["TileStep", "SmState", "SmStats"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TileStep:
     """One pipelined unit of SM work.
 

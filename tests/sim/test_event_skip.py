@@ -1,0 +1,233 @@
+"""Idle-cycle skipping: event jumps equal per-cycle stepping exactly.
+
+Both simulator backends advance from one scheduled event straight to the
+next instead of ticking every cycle.  On workloads dominated by long
+memory stalls (thousands of idle cycles between compute bursts) that is
+where the throughput comes from — and it must be a pure optimisation.
+This suite pins the event-jump schedule against a literal per-cycle
+oracle that advances time one cycle at a time, on an integer-friendly
+configuration where every event lands on a whole cycle, and adds the
+backend-invariance regression for tracing spans.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.engine import EngineSpec
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.sim.config import EncryptionConfig, EncryptionMode, gtx480_config
+from repro.sim.gpu import GpuSimulator
+from repro.sim.request import Access, MemRequest
+from repro.sim.sm import SmState, TileStep
+
+#: Integer-friendly machine: 32 B/cycle channels at a 1 GHz core clock and
+#: a 16 B/cycle AES engine make every occupancy a whole number of cycles,
+#: so the per-cycle oracle's unit steps land exactly on the event times.
+def integral_config(mode=EncryptionMode.NONE, num_sms=3, num_channels=2):
+    encryption = EncryptionConfig(
+        mode=mode,
+        engine=EngineSpec("test-engine", None, None, 10, 16.0),
+    )
+    return replace(
+        gtx480_config(),
+        core_clock_ghz=1.0,
+        channel_bandwidth_gbps=32.0,
+        num_sms=num_sms,
+        num_channels=num_channels,
+        encryption=encryption,
+    )
+
+
+def stall_streams(
+    config, steps_per_sm=4, read_bytes=4096, compute_cycles=5, encrypted=False
+):
+    """Streams whose steps stall for thousands of cycles on DRAM.
+
+    One 4 KB read costs 128 occupancy cycles plus the 220-cycle DRAM
+    latency per wave, dwarfing the 5-cycle compute bursts — exactly the
+    shape where naive per-cycle stepping burns its time idling.
+    """
+    streams = []
+    address = 0
+    for sm in range(config.num_sms):
+        steps = []
+        for index in range(steps_per_sm):
+            reads = tuple(
+                MemRequest(
+                    address=address + part * 4096,
+                    size=read_bytes,
+                    access=Access.READ,
+                    encrypted=encrypted,
+                )
+                for part in range(2)
+            )
+            writes = ()
+            if index == steps_per_sm - 1:
+                writes = (
+                    MemRequest(
+                        address=address + 65536,
+                        size=1024,
+                        access=Access.WRITE,
+                        encrypted=encrypted,
+                    ),
+                )
+            steps.append(
+                TileStep(
+                    compute_cycles=compute_cycles, reads=reads, writes=writes
+                )
+            )
+            address += 16384
+        streams.append(steps)
+    return streams
+
+
+def run_per_cycle(config, streams):
+    """Per-cycle oracle: the scalar engine's exact semantics, but time
+    advances one cycle at a time instead of jumping between events.
+
+    Events due at time ``t`` are processed in ``(event_time, sm_id)``
+    order — the same total order the event heap yields — so with every
+    event on a whole cycle the two schedules must agree to the bit.
+    """
+    simulator = GpuSimulator(config, backend="scalar")
+    sms = [
+        SmState(sm_id=i, steps=list(stream)) for i, stream in enumerate(streams)
+    ]
+    for sm in sms:
+        if sm.done:
+            continue
+        sm.ready_time = simulator._issue(sm.steps[0].reads, 0.0)
+        sm.stats.read_requests += len(sm.steps[0].reads)
+        assert sm.ready_time == int(sm.ready_time), "oracle needs whole cycles"
+
+    finish = 0.0
+    t = 0.0
+    while any(not sm.done for sm in sms):
+        while True:
+            due = [sm for sm in sms if not sm.done and sm.next_event_time <= t]
+            if not due:
+                break
+            sm = min(due, key=lambda s: (s.next_event_time, s.sm_id))
+            step = sm.steps[sm.next_step]
+            start = sm.next_event_time
+            end = start + step.compute_cycles
+            sm.stats.instructions += step.instructions
+            sm.stats.busy_cycles += step.compute_cycles
+            sm.stats.steps += 1
+            if step.writes:
+                done = simulator._issue(step.writes, end)
+                sm.last_write_done = max(sm.last_write_done, done)
+                sm.stats.write_requests += len(step.writes)
+            sm.compute_end = end
+            sm.next_step += 1
+            if not sm.done:
+                next_step = sm.steps[sm.next_step]
+                sm.ready_time = simulator._issue(next_step.reads, start)
+                sm.stats.read_requests += len(next_step.reads)
+                assert sm.ready_time == int(sm.ready_time)
+            else:
+                finish = max(finish, end, sm.last_write_done)
+        t += 1.0
+    for sm in sms:
+        finish = max(finish, sm.compute_end, sm.last_write_done)
+    return simulator._collect("oracle", finish, sms)
+
+
+def snapshot(simulator, result):
+    state = [result.cycles, result.instructions, result.dram_utilization]
+    state.append(
+        tuple(
+            (s.instructions, s.busy_cycles, s.steps, s.read_requests, s.write_requests)
+            for s in result.sm_stats
+        )
+    )
+    for mc in simulator.controllers:
+        state.append((mc.stats.read_requests, mc.stats.write_requests,
+                      mc.stats.data_bytes, mc._dram.next_free, mc._dram.busy))
+    return state
+
+
+class TestEventJumpEqualsPerCycle:
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_long_stalls_match_oracle(self, backend):
+        config = integral_config()
+        oracle = run_per_cycle(config, stall_streams(config))
+        simulator = GpuSimulator(config, backend=backend)
+        result = simulator.run(stall_streams(config), label="oracle")
+        assert result.cycles == oracle.cycles
+        assert result.cycles == int(result.cycles)  # events on whole cycles
+        assert result.cycles > 3000  # the stalls really dominate
+        for got, want in zip(result.sm_stats, oracle.sm_stats):
+            assert (got.busy_cycles, got.instructions, got.steps) == (
+                want.busy_cycles,
+                want.instructions,
+                want.steps,
+            )
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_encrypted_stalls_match_oracle(self, backend):
+        config = integral_config(mode=EncryptionMode.DIRECT)
+        streams = stall_streams(config, encrypted=True)
+        oracle = run_per_cycle(config, stall_streams(config, encrypted=True))
+        simulator = GpuSimulator(config, backend=backend)
+        result = simulator.run(streams, label="oracle")
+        assert result.cycles == oracle.cycles
+        assert result.encrypted_bytes == oracle.encrypted_bytes
+
+    def test_backends_agree_on_full_state(self):
+        config = integral_config(mode=EncryptionMode.DIRECT, num_sms=5)
+        states = {}
+        for backend in ("scalar", "vector"):
+            simulator = GpuSimulator(config, backend=backend)
+            result = simulator.run(
+                stall_streams(config, steps_per_sm=6, encrypted=True)
+            )
+            states[backend] = snapshot(simulator, result)
+        assert states["scalar"] == states["vector"]
+
+
+class TestTracingInvariance:
+    """Spans and their cycle-domain attributes are backend-invariant; only
+    the ``sim_backend`` annotation (and wall-clock timings) may differ."""
+
+    def _spans(self, backend):
+        config = integral_config(mode=EncryptionMode.DIRECT)
+        tracer = enable_tracing()
+        tracer.reset()
+        try:
+            simulator = GpuSimulator(config, backend=backend)
+            simulator.run(stall_streams(config, encrypted=True), label="traced")
+            spans = tracer.snapshot()["spans"]
+        finally:
+            disable_tracing()
+        normalized = []
+        for span in spans:
+            attrs = {
+                k: v
+                for k, v in (span.get("attrs") or {}).items()
+                if k != "sim_backend"
+            }
+            events = tuple(
+                (e["name"], tuple(sorted(e.get("attrs", {}).items())))
+                for e in span.get("events") or ()
+            )
+            normalized.append((span["name"], tuple(sorted(attrs.items())), events))
+        return sorted(normalized)
+
+    def test_span_structure_identical(self):
+        scalar = self._spans("scalar")
+        vector = self._spans("vector")
+        assert scalar and scalar == vector
+
+    def test_backend_annotation_present(self):
+        config = integral_config()
+        tracer = enable_tracing()
+        tracer.reset()
+        try:
+            GpuSimulator(config, backend="vector").run(stall_streams(config))
+            spans = tracer.snapshot()["spans"]
+        finally:
+            disable_tracing()
+        kernel = [s for s in spans if s["name"] == "sim.kernel"]
+        assert kernel and kernel[0]["attrs"]["sim_backend"] == "vector"

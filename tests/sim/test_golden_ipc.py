@@ -48,6 +48,27 @@ def assert_results_identical(a, b):
         assert va == vb, f"{a.label}: field {f.name} differs: {va!r} != {vb!r}"
 
 
+@pytest.fixture(scope="module", params=["scalar", "vector"])
+def sim_backend(request):
+    """Run the golden suite under both simulator backends.
+
+    The env var (not a plumbed argument) is what ``run_layer`` and the
+    parallel runner's worker processes resolve, so one fixture pins every
+    execution path in the module to the requested engine.
+    """
+    import os
+
+    from repro.sim.engine import ENV_VAR
+
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = request.param
+    yield request.param
+    if previous is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = previous
+
+
 @pytest.fixture(scope="module")
 def plan():
     set_init_rng(0)
@@ -57,8 +78,15 @@ def plan():
 
 
 @pytest.fixture(scope="module")
-def serial_results(plan):
-    """The uncached serial reference: one run_layer call per unit."""
+def serial_results(plan, sim_backend):
+    """The uncached serial reference: one run_layer call per unit.
+
+    Parametrized over both simulator backends — the golden values are
+    properties of the simulation, not of the engine that replayed it.
+    The pinning below compares whole-model aggregates (summed
+    instructions over summed cycles), which are insensitive to the order
+    individual layer results arrive in.
+    """
     traffics = plan.layer_traffic()
     return {
         scheme: [run_layer(traffic, scheme) for traffic in traffics]
