@@ -1,0 +1,169 @@
+"""Serving front end: serial one-at-a-time vs concurrent micro-batched.
+
+A live :class:`repro.serve.server.ModelServer` on a loopback socket,
+driven over the real wire protocol with the same payload mix in two
+modes:
+
+* **serial** — one client, one request in flight, each ``seal`` awaited
+  before the next is sent: every request pays a full round trip and a
+  one-item crypto batch (the micro-batcher's ``window_seconds=0`` default
+  adds no artificial wait, so this is an honest baseline);
+* **batched** — the same multiset of payloads fired concurrently from
+  several client connections: while one batch executes, the rest of the
+  requests queue up and the micro-batcher coalesces them into large
+  passes through the vectorized crypto fast path.
+
+The recorded artefact pins the tentpole claim of the serving layer:
+**sustained seals/s under concurrency beats the serial baseline** on the
+same payload mix, with per-request p50/p95/p99 latency quantiles (from
+the ``serve.request`` reservoir timer) alongside for the honest cost
+story — individual batched requests may wait for a batch, but the fleet
+finishes far sooner.
+"""
+
+import asyncio
+import time
+
+from repro.eval.reporting import ascii_table
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.serve import ModelServer, ServeClient, ServeConfig
+
+LINE_BYTES = 128
+N_CLIENTS = 8
+
+
+def _payload_mix(scale: int) -> list[bytes]:
+    """Deterministic mix of 1-, 4- and 16-line payloads (worst, typical,
+    bulk), ``3 * scale`` requests in round-robin order."""
+    mix = []
+    for index in range(scale):
+        for lines in (1, 4, 16):
+            seed = (index * lines) & 0xFF
+            mix.append(bytes((seed + offset) & 0xFF for offset in range(lines * LINE_BYTES)))
+    return mix
+
+
+async def _drive(payloads: list[bytes], *, concurrent: bool, port: int) -> float:
+    """Send every payload as a ``seal``; returns wall seconds."""
+
+    async def client_worker(share: list[tuple[int, bytes]]) -> None:
+        async with await ServeClient.connect("127.0.0.1", port) as client:
+            if concurrent:
+                await asyncio.gather(
+                    *(
+                        client.seal(payload, counter=index + 1)
+                        for index, payload in share
+                    )
+                )
+            else:
+                for index, payload in share:
+                    await client.seal(payload, counter=index + 1)
+
+    indexed = list(enumerate(payloads))
+    start = time.perf_counter()
+    if concurrent:
+        shares = [indexed[i::N_CLIENTS] for i in range(N_CLIENTS)]
+        await asyncio.gather(*(client_worker(s) for s in shares if s))
+    else:
+        await client_worker(indexed)
+    return time.perf_counter() - start
+
+
+def _run_mode(payloads: list[bytes], *, concurrent: bool) -> dict:
+    """One server + one metrics registry per mode: clean quantiles."""
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+
+        async def scenario() -> float:
+            async with ModelServer(ServeConfig(max_batch=64)) as server:
+                return await _drive(
+                    payloads, concurrent=concurrent, port=server.port
+                )
+
+        wall_seconds = asyncio.run(scenario())
+    finally:
+        set_metrics(previous)
+    snapshot = registry.snapshot()
+    request_timer = snapshot["timers"]["serve.request"]
+    batches = snapshot["counters"]["serve.batches"]
+    return {
+        "mode": "batched" if concurrent else "serial",
+        "requests": len(payloads),
+        "wall_seconds": wall_seconds,
+        "seals_per_second": len(payloads) / wall_seconds,
+        "p50_ms": request_timer["p50_seconds"] * 1e3,
+        "p95_ms": request_timer["p95_seconds"] * 1e3,
+        "p99_ms": request_timer["p99_seconds"] * 1e3,
+        "batches": batches,
+        "mean_batch_requests": snapshot["derived"]["serve_batch_mean_requests"],
+        "snapshot": snapshot,
+    }
+
+
+def test_serve_latency(benchmark, record_report, record_metrics, bench_scale):
+    scale = 64 if bench_scale == "full" else 20
+    payloads = _payload_mix(scale)
+    total_lines = sum(len(p) // LINE_BYTES for p in payloads)
+
+    def sweep():
+        return {
+            "serial": _run_mode(payloads, concurrent=False),
+            "batched": _run_mode(payloads, concurrent=True),
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    speedup = (
+        results["batched"]["seals_per_second"]
+        / results["serial"]["seals_per_second"]
+    )
+
+    # Fold both modes into the process registry so the BENCH document
+    # carries the serve.* counters/timers next to the payload.
+    for mode in results.values():
+        get_metrics().merge(mode.pop("snapshot"))
+
+    rows = [
+        (
+            result["mode"],
+            result["requests"],
+            f"{result['seals_per_second']:,.0f}",
+            f"{result['p50_ms']:.2f}",
+            f"{result['p95_ms']:.2f}",
+            f"{result['p99_ms']:.2f}",
+            f"{result['mean_batch_requests']:.1f}",
+        )
+        for result in results.values()
+    ]
+    report = (
+        f"serve latency/throughput ({len(payloads)} seal requests, "
+        f"{total_lines} lines, {N_CLIENTS} clients when batched)\n"
+        + ascii_table(
+            (
+                "mode", "requests", "seals/s",
+                "p50 ms", "p95 ms", "p99 ms", "batch size",
+            ),
+            rows,
+        )
+        + f"\nbatched/serial throughput: {speedup:.1f}x "
+        "(floor: strictly faster on the same payload mix)"
+    )
+    record_report("serve_latency", report)
+    record_metrics(
+        "serve_latency",
+        payload={
+            "line_bytes": LINE_BYTES,
+            "n_clients": N_CLIENTS,
+            "requests": len(payloads),
+            "total_lines": total_lines,
+            "results": results,
+            "batched_over_serial": speedup,
+        },
+    )
+
+    # Same multiset of payloads in both modes; coalescing must be real.
+    assert results["batched"]["mean_batch_requests"] > 1.0
+    # The acceptance claim: concurrency + micro-batching beats serial
+    # one-at-a-time throughput (in practice by several x; the floor only
+    # guards against regressions on slow CI machines).
+    assert speedup > 1.2, f"batched only {speedup:.2f}x serial"

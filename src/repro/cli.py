@@ -11,6 +11,7 @@ Commands
 ``faults``          bus-tampering fault-injection campaign (docs/fault-model.md)
 ``trace``           run any other command with tracing enabled (docs/tracing.md)
 ``report``          render a text run report from a metrics/trace pair
+``serve``           seal-as-a-service front end over TCP (docs/serving.md)
 
 ``simulate``, ``figure`` and ``security-sweep`` accept ``--jobs N`` to fan
 independent work over a process pool and ``--metrics-out PATH`` to write
@@ -34,7 +35,15 @@ instead — results are identical by contract (docs/fault-model.md).
 ``simulate`` and ``figure`` similarly accept ``--sim-backend
 scalar|vector`` (or ``REPRO_SIM_BACKEND``) to pin the simulator engine;
 the vector default compiles step streams to flat arrays and is an order
-of magnitude faster, with bit-identical results (docs/architecture.md).
+of magnitude faster, with bit-identical results (docs/architecture.md);
+``REPRO_SIM_NATIVE=0`` additionally forces the vector engine's
+pure-Python inner loop when the compiled helper is suspect.  ``serve``
+runs the asyncio model-protection server (micro-batching, per-tenant
+quotas, bounded queues, crash-isolated workers — docs/serving.md);
+on shutdown it can emit the same ``--metrics-out``/``--trace-out``
+documents as every batch command.  Setting ``REPRO_TRACE=1`` in the
+environment is equivalent to passing ``--trace-out`` for worker
+processes: it is how tracing propagates into process pools.
 """
 
 from __future__ import annotations
@@ -281,6 +290,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return main(rest + ["--trace-out", args.out, "--format", args.trace_format])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.server import ServeConfig, run_server
+
+    # One server = one run: --metrics-out/--trace-out describe this
+    # serving session, not whatever ran earlier in the process.
+    reset_metrics()
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.crypto_backend,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+    return run_server(config)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.metrics import METRICS_SCHEMA
     from .obs.report import load_document, render_report
@@ -320,7 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_trace_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-out", metavar="PATH",
-            help="record a hierarchical span trace of the run (docs/tracing.md)",
+            help="record a hierarchical span trace of the run as "
+            "repro.trace/v1 JSON; sets REPRO_TRACE=1 so pool workers "
+            "trace too (docs/tracing.md)",
         )
         p.add_argument(
             "--format", dest="trace_format", choices=["json", "chrome"],
@@ -348,12 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--metrics-out", metavar="PATH",
-            help="write run metrics (counters/timers/cache stats) as JSON",
+            help="write run metrics (counters/timers/cache stats) as "
+            "repro.metrics/v1 JSON (docs/metrics.md)",
         )
         p.add_argument(
             "--sim-backend", choices=["scalar", "vector"], default=None,
             help="simulator engine (default: REPRO_SIM_BACKEND or vector); "
-            "results are bit-identical by contract",
+            "results are bit-identical by contract; REPRO_SIM_NATIVE=0 "
+            "forces the vector engine's pure-Python inner loop",
         )
 
     p_sim = sub.add_parser(
@@ -467,7 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.add_argument(
         "--metrics-out", metavar="PATH",
-        help="write campaign metrics (counters/timers) as JSON",
+        help="write campaign metrics (counters/timers) as "
+        "repro.metrics/v1 JSON (docs/metrics.md)",
     )
     add_trace_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
@@ -491,6 +526,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="the repro command (with its arguments) to trace",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="seal-as-a-service server over newline-delimited JSON",
+        description="Serve seal/unseal/verify/plan over TCP "
+        "(protocol repro.serve/v1; reference and runbook in "
+        "docs/serving.md).  Concurrent requests coalesce through the "
+        "vectorized crypto fastpath; REPRO_CRYPTO_BACKEND (or "
+        "--crypto-backend) pins the backend.  Stop with Ctrl-C or a "
+        "shutdown request; --metrics-out/--trace-out are written then.",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; never expose unauthenticated)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port (default 0 = pick a free port, shown in the banner)",
+    )
+    p_serve.add_argument(
+        "--crypto-backend", choices=["scalar", "vector"], default=None,
+        help="functional crypto backend (default: REPRO_CRYPTO_BACKEND "
+        "or vector; scalar is the pure-Python oracle)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="max requests coalesced into one crypto batch (default 64)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="how long a non-full batch lingers for stragglers "
+        "(default 0 = dispatch whatever is queued)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="max in-flight requests before 429-style rejection (default 256)",
+    )
+    p_serve.add_argument(
+        "--workers", type=jobs_count, default=0, metavar="N",
+        help="crash-isolated worker processes for the crypto "
+        "(default 0 = in-process threads, no isolation)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request budget; overruns fail with code 'timeout' and, "
+        "with --workers, kill and rebuild the pool",
+    )
+    p_serve.add_argument(
+        "--quota-rate", type=float, default=0.0, metavar="LINES_PER_S",
+        help="per-tenant token refill rate in cache lines/second "
+        "(default 0 = quotas disabled)",
+    )
+    p_serve.add_argument(
+        "--quota-burst", type=float, default=None, metavar="LINES",
+        help="per-tenant bucket capacity (default: --quota-rate)",
+    )
+    p_serve.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="on shutdown, write serve.* counters and latency quantiles "
+        "as repro.metrics/v1 JSON (docs/metrics.md)",
+    )
+    add_trace_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser(
         "report",

@@ -5,20 +5,41 @@ would: build the criticality plan for a trained model, lay the model out in
 accelerator memory with ``emalloc``/``malloc`` per region, functionally
 encrypt the critical lines, and answer the question the security analysis
 needs — *exactly which bytes does a bus snooper see in plaintext?*
+
+:class:`LineSealer` is the payload-level *protection* entry point the
+serving layer (:mod:`repro.serve`) builds on: it splits an arbitrary blob
+into cache lines, counter-mode encrypts them and GMAC-tags each line in
+**one batched pass per primitive** — the shape the vectorized fast path
+(:mod:`repro.crypto.fastpath`) is fastest at — and verifies/decrypts on
+the way back, raising :class:`SealIntegrityError` on any tampered line.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..crypto.mac import MAC_BYTES, LineAuthenticator
 from ..crypto.modes import CounterModeEncryptor, DirectEncryptor
 from ..nn.layers import Module
 from .memory import Allocation, SecureHeap
 from .plan import DEFAULT_ENCRYPTION_RATIO, ModelEncryptionPlan
 
-__all__ = ["SealScheme", "LayerLayout", "SnoopedModel"]
+__all__ = [
+    "SealScheme",
+    "LayerLayout",
+    "SnoopedModel",
+    "LINE_BYTES",
+    "SealedPayload",
+    "SealIntegrityError",
+    "LineSealer",
+]
+
+#: Memory-access granularity the sealer chunks payloads into (one bus line
+#: of the modelled GDDR5 system — the same constant as
+#: :data:`repro.faults.tamper.LINE_BYTES`).
+LINE_BYTES = 128
 
 
 @dataclass(frozen=True)
@@ -240,3 +261,178 @@ class SealScheme:
             aux_masks=aux_masks,
             aux_buffers=aux_buffers,
         )
+
+
+# ----------------------------------------------------------------------
+# Payload sealing (the serving layer's crypto entry point)
+# ----------------------------------------------------------------------
+class SealIntegrityError(ValueError):
+    """Authentication failed while unsealing; ``lines`` names the culprits."""
+
+    def __init__(self, lines: list[int]) -> None:
+        self.lines = list(lines)
+        super().__init__(
+            f"verification failed on line(s) {', '.join(map(str, lines))}"
+        )
+
+
+@dataclass(frozen=True)
+class SealedPayload:
+    """An arbitrary blob sealed line-by-line: ciphertext + per-line tags.
+
+    ``ciphertext`` is the concatenation of the encrypted (zero-padded)
+    lines; ``length`` remembers the original payload size so unsealing can
+    strip the padding.  Line *i* lives at ``base_address + i*line_bytes``
+    and was encrypted/tagged under write counter ``counter`` (addresses
+    differ per line, so one counter per payload keeps pads unique).
+    """
+
+    base_address: int
+    counter: int
+    length: int
+    line_bytes: int
+    ciphertext: bytes
+    tags: tuple[bytes, ...] = field(default=())
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.ciphertext) // self.line_bytes
+
+    def addresses(self) -> list[int]:
+        return [
+            self.base_address + index * self.line_bytes
+            for index in range(self.n_lines)
+        ]
+
+    def lines(self) -> list[bytes]:
+        return [
+            self.ciphertext[offset : offset + self.line_bytes]
+            for offset in range(0, len(self.ciphertext), self.line_bytes)
+        ]
+
+
+class LineSealer:
+    """Batched seal → authenticate → verify → unseal over cache lines.
+
+    One instance owns the service key: counter-mode encryption
+    (:class:`repro.crypto.modes.CounterModeEncryptor`) plus per-line GMAC
+    tags (:class:`repro.crypto.mac.LineAuthenticator`), both on the same
+    resolved crypto backend.  The line-level methods
+    (:meth:`seal_lines` / :meth:`verify_lines` / :meth:`open_lines`) take
+    whole batches so concurrent requests can share one keystream/GHASH
+    pass — the fast path :mod:`repro.serve.batcher` coalesces into.
+
+    >>> sealer = LineSealer(bytes(range(16)))
+    >>> sealed = sealer.seal(b"weights " * 40, base_address=0x1000)
+    >>> sealer.unseal(sealed) == b"weights " * 40
+    True
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        *,
+        tag_bytes: int = MAC_BYTES,
+        line_bytes: int = LINE_BYTES,
+        backend: str | None = None,
+    ) -> None:
+        if line_bytes <= 0 or line_bytes % 16:
+            raise ValueError("line_bytes must be a positive multiple of 16")
+        self.line_bytes = line_bytes
+        self._encryptor = CounterModeEncryptor(key, backend=backend)
+        self._authenticator = LineAuthenticator(
+            key, tag_bytes, backend=self._encryptor.backend
+        )
+        self.tag_bytes = tag_bytes
+
+    @property
+    def backend(self) -> str:
+        """Resolved crypto backend name (``scalar`` or ``vector``)."""
+        return self._encryptor.backend
+
+    # -- line-level batch entry points ----------------------------------
+    def seal_lines(
+        self, addresses, counters, lines
+    ) -> tuple[list[bytes], list[bytes]]:
+        """Encrypt + tag a batch of equal-length lines in two batched passes."""
+        ciphertexts = self._encryptor.encrypt_lines(addresses, counters, lines)
+        tags = self._authenticator.tag_lines(addresses, counters, ciphertexts)
+        return ciphertexts, tags
+
+    def verify_lines(self, addresses, counters, ciphertexts, tags) -> list[bool]:
+        """Batched per-line authentication verdicts (no decryption)."""
+        return self._authenticator.verify_lines(
+            addresses, counters, ciphertexts, tags
+        )
+
+    def open_lines(
+        self, addresses, counters, ciphertexts, tags
+    ) -> tuple[list[bytes], list[bool]]:
+        """Verify then decrypt a batch; plaintexts align with verdicts.
+
+        Decryption runs regardless (constant-shape: a tampered batch costs
+        the same as a clean one); callers must honour the verdicts.
+        """
+        verdicts = self.verify_lines(addresses, counters, ciphertexts, tags)
+        plaintexts = self._encryptor.decrypt_lines(addresses, counters, ciphertexts)
+        return plaintexts, verdicts
+
+    # -- payload-level convenience --------------------------------------
+    def _split(self, payload: bytes) -> list[bytes]:
+        padded = payload + bytes(-len(payload) % self.line_bytes)
+        return [
+            padded[offset : offset + self.line_bytes]
+            for offset in range(0, len(padded), self.line_bytes)
+        ]
+
+    def seal(
+        self, payload: bytes, *, base_address: int = 0, counter: int = 1
+    ) -> SealedPayload:
+        """Seal a blob: split into lines, encrypt, tag — batched end to end."""
+        if not payload:
+            raise ValueError("cannot seal an empty payload")
+        lines = self._split(payload)
+        addresses = [
+            base_address + index * self.line_bytes for index in range(len(lines))
+        ]
+        counters = [counter] * len(lines)
+        ciphertexts, tags = self.seal_lines(addresses, counters, lines)
+        return SealedPayload(
+            base_address=base_address,
+            counter=counter,
+            length=len(payload),
+            line_bytes=self.line_bytes,
+            ciphertext=b"".join(ciphertexts),
+            tags=tuple(tags),
+        )
+
+    def verify(self, sealed: SealedPayload) -> list[bool]:
+        """Per-line authentication verdicts for a sealed payload."""
+        addresses = sealed.addresses()
+        counters = [sealed.counter] * sealed.n_lines
+        return self.verify_lines(
+            addresses, counters, sealed.lines(), list(sealed.tags)
+        )
+
+    def unseal(self, sealed: SealedPayload) -> bytes:
+        """Verify + decrypt a sealed payload back to the original bytes.
+
+        Raises :class:`SealIntegrityError` naming every line whose tag
+        fails — nothing is returned from a tampered payload.
+        """
+        if sealed.line_bytes != self.line_bytes:
+            raise ValueError(
+                f"payload uses {sealed.line_bytes}-byte lines, "
+                f"sealer uses {self.line_bytes}"
+            )
+        if len(sealed.tags) != sealed.n_lines:
+            raise SealIntegrityError(list(range(sealed.n_lines)))
+        addresses = sealed.addresses()
+        counters = [sealed.counter] * sealed.n_lines
+        plaintexts, verdicts = self.open_lines(
+            addresses, counters, sealed.lines(), list(sealed.tags)
+        )
+        bad = [index for index, ok in enumerate(verdicts) if not ok]
+        if bad:
+            raise SealIntegrityError(bad)
+        return b"".join(plaintexts)[: sealed.length]

@@ -192,6 +192,32 @@ class LineAuthenticator:
     def verify(self, address: int, counter: int, ciphertext: bytes, tag: bytes) -> bool:
         """Constant-shape verification (returns False on any mismatch)."""
         expected = self.tag(address, counter, ciphertext)
+        return self._compare(expected, tag)
+
+    def verify_lines(
+        self,
+        addresses: Sequence[int],
+        counters: Sequence[int],
+        ciphertexts: Sequence[bytes],
+        tags: Sequence[bytes],
+    ) -> list[bool]:
+        """Batched verification: one boolean per line, one tag pass.
+
+        Recomputes every expected tag through :meth:`tag_lines` (on the
+        vector backend: a single lane-parallel GHASH plus one batched AES
+        call for the whole batch) and compares constant-shape per line.
+        This is the entry point the serving batcher amortizes lane setup
+        through (:mod:`repro.serve.batcher`).
+        """
+        if len(tags) != len(ciphertexts):
+            raise ValueError("ciphertexts and tags must align")
+        expected = self.tag_lines(addresses, counters, ciphertexts)
+        return [
+            self._compare(want, got) for want, got in zip(expected, tags)
+        ]
+
+    @staticmethod
+    def _compare(expected: bytes, tag: bytes) -> bool:
         if len(tag) != len(expected):
             return False
         result = 0

@@ -248,6 +248,33 @@ class MetricsRegistry:
             )
             if gmac_rate:
                 derived["crypto_gmac_tags_per_second"] = gmac_rate
+        # Serving front end (docs/serving.md; populated by `repro serve`).
+        request = timers.get("serve.request")
+        if request:
+            derived["serve_request_p50_seconds"] = request["p50_seconds"]
+            derived["serve_request_p99_seconds"] = request["p99_seconds"]
+        batch_mean = ratio(
+            counters.get("serve.batch.requests", 0),
+            counters.get("serve.batches", 0),
+        )
+        if batch_mean is not None:
+            derived["serve_batch_mean_requests"] = batch_mean
+        admitted = counters.get("serve.requests.total")
+        if admitted:
+            derived["serve_rejection_rate"] = (
+                counters.get("serve.requests.rejected.backpressure", 0)
+                + counters.get("serve.requests.rejected.quota", 0)
+            ) / admitted
+        batch = timers.get("serve.batch")
+        if batch:
+            lines_rate = ratio(
+                counters.get("serve.lines.sealed", 0)
+                + counters.get("serve.lines.unsealed", 0)
+                + counters.get("serve.lines.verified", 0),
+                batch["total_seconds"],
+            )
+            if lines_rate:
+                derived["serve_lines_per_second"] = lines_rate
         return {
             "schema": METRICS_SCHEMA,
             "counters": counters,

@@ -1,0 +1,57 @@
+"""Seal-as-a-service: an asyncio front end over the SEAL pipeline.
+
+The ROADMAP's "millions of users" scenario made concrete: a newline-
+delimited-JSON server (``python -m repro serve``) exposing the paper's
+plan → AES-CTR seal → GMAC authenticate pipeline as concurrent
+``seal`` / ``unseal`` / ``verify`` / ``plan`` operations.  Four moving
+parts, one per module:
+
+* :mod:`repro.serve.protocol` — the ``repro.serve/v1`` wire format
+  (requests, responses, error codes) and payload base64 helpers;
+* :mod:`repro.serve.quota` — per-tenant token buckets;
+* :mod:`repro.serve.batcher` — the micro-batcher coalescing concurrent
+  requests into one batched pass through the vectorized crypto fast path;
+* :mod:`repro.serve.server` — admission control (bounded in-flight
+  queue with 429-style rejection), per-request timeouts, a crash-isolated
+  worker pool, ``serve.*`` metrics and request spans;
+* :mod:`repro.serve.client` — asyncio and blocking clients used by the
+  tests and the load-generator bench.
+
+Protocol reference and ops runbook: ``docs/serving.md``.
+"""
+
+from .batcher import MicroBatcher
+from .client import BlockingServeClient, ServeClient, ServeError
+from .protocol import (
+    PROTOCOL_SCHEMA,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    from_b64,
+    to_b64,
+)
+from .quota import QuotaManager, TokenBucket
+from .server import ModelServer, ServeConfig
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "ErrorCode",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "decode_request",
+    "encode_response",
+    "from_b64",
+    "to_b64",
+    "TokenBucket",
+    "QuotaManager",
+    "MicroBatcher",
+    "ModelServer",
+    "ServeConfig",
+    "ServeClient",
+    "BlockingServeClient",
+    "ServeError",
+]

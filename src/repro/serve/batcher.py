@@ -1,0 +1,169 @@
+"""Micro-batching: coalesce concurrent requests into one fastpath pass.
+
+The vectorized crypto datapath (:mod:`repro.crypto.fastpath`) pays a
+fixed lane-setup cost per call and then encrypts/tags blocks essentially
+for free across array lanes — so ten concurrent 4-line seal requests are
+far cheaper as one 40-line batch than as ten calls.  :class:`MicroBatcher`
+is the coalescing point: requests queue up, a single drain task collects
+whatever is waiting (up to ``max_batch`` items, optionally lingering
+``window_seconds`` for stragglers) and hands the whole batch to one
+``execute`` callable.  Each submitter gets its own result back through a
+future, in any order — the wire protocol correlates by request id.
+
+Latency behaviour: with the default ``window_seconds=0`` a lone request
+is dispatched *immediately* (the drain loop only takes what is already
+queued), so an idle server adds no artificial latency; under load the
+queue naturally fills while the previous batch executes, which is where
+the coalescing (and the throughput win ``benchmarks/
+bench_serve_latency.py`` measures) comes from.
+
+Counters: ``serve.batches`` (drains), ``serve.batch.requests`` (items
+through batches) and the ``serve.batch`` timer land in the process
+metrics registry; the batch-size distribution is visible as the timer's
+per-batch samples and the ``serve_batch_mean_requests`` derived field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Generic, Sequence, TypeVar
+
+from ..obs.metrics import get_metrics
+
+__all__ = ["MicroBatcher"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class MicroBatcher(Generic[ItemT, ResultT]):
+    """Coalesce awaited submissions into batched ``execute`` calls.
+
+    Parameters
+    ----------
+    execute:
+        ``async (items) -> results`` with one result per item, in order.
+        A result that is an :class:`Exception` instance is raised to that
+        item's submitter alone; an exception raised by ``execute`` itself
+        fails the whole batch (every submitter sees it).
+    max_batch:
+        Hard cap on items per drain (bounds worst-case batch latency).
+    window_seconds:
+        How long a non-full batch lingers for stragglers after its first
+        item arrived.  ``0`` = dispatch what is already queued.
+    label:
+        Metrics prefix: ``<label>es``/``<label>s`` counter (drains),
+        ``<label>.requests`` counter, ``<label>`` timer.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence[ItemT]], Awaitable[Sequence[ResultT]]],
+        *,
+        max_batch: int = 64,
+        window_seconds: float = 0.0,
+        label: str = "serve.batch",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be non-negative")
+        self._execute = execute
+        self.max_batch = max_batch
+        self.window_seconds = window_seconds
+        self.label = label
+        suffix = "es" if label.endswith(("s", "ch", "sh", "x", "z")) else "s"
+        self._drain_counter = label + suffix
+        self._queue: asyncio.Queue[tuple[ItemT, asyncio.Future]] = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.create_task(self._drain_loop(), name=self.label)
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        # Fail anything still queued so no submitter hangs on shutdown.
+        while not self._queue.empty():
+            _, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(RuntimeError("batcher stopped"))
+
+    async def submit(self, item: ItemT) -> ResultT:
+        """Queue ``item`` and await its individual result."""
+        if self._task is None:
+            await self.start()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((item, future))
+        return await future
+
+    def pending(self) -> int:
+        """Items queued but not yet drained (monitoring only)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.window_seconds
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            await self._run_batch(batch)
+
+    async def _run_batch(
+        self, batch: list[tuple[ItemT, asyncio.Future]]
+    ) -> None:
+        metrics = get_metrics()
+        metrics.count(self._drain_counter)
+        metrics.count(f"{self.label}.requests", len(batch))
+        items = [item for item, _ in batch]
+        try:
+            with metrics.timer(self.label):
+                results = await self._execute(items)
+        except asyncio.CancelledError:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(RuntimeError("batcher stopped"))
+            raise
+        except Exception as error:  # whole-batch failure (timeout, crash)
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        if len(results) != len(batch):
+            error = RuntimeError(
+                f"batch executor returned {len(results)} results "
+                f"for {len(batch)} items"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(batch, results):
+            if future.done():
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)

@@ -1,0 +1,306 @@
+"""Clients for the ``repro.serve/v1`` protocol.
+
+:class:`ServeClient` is the native asyncio client: one TCP connection,
+requests multiplexed by id, responses demultiplexed by a background
+reader task — so a single client can keep many requests in flight (which
+is exactly what the load-generating bench does).  :class:`BlockingServeClient`
+wraps it for synchronous callers (tests, notebooks) by running a private
+event loop on a daemon thread.
+
+Convenience methods decode base64 payloads back to ``bytes`` and raise
+:class:`ServeError` (carrying the wire ``code``/``status``) on failure
+responses, so callers never touch raw protocol dicts unless they want to
+(:meth:`ServeClient.request` returns them verbatim).
+
+>>> # against a running server (see docs/serving.md):
+>>> # async with await ServeClient.connect("127.0.0.1", 7316) as client:
+>>> #     sealed = await client.seal(b"weights", tenant="acme")
+>>> #     assert await client.unseal(**sealed) == b"weights"
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Sequence
+
+from .protocol import (
+    ErrorCode,
+    ProtocolError,
+    Response,
+    decode_response,
+    from_b64,
+    to_b64,
+)
+
+__all__ = ["ServeError", "ServeClient", "BlockingServeClient"]
+
+
+class ServeError(RuntimeError):
+    """A failure response from the server (or a dead connection)."""
+
+    def __init__(
+        self,
+        message: str,
+        code: ErrorCode = ErrorCode.INTERNAL,
+        detail: dict | None = None,
+    ) -> None:
+        self.code = code
+        self.status = code.status
+        self.detail = detail
+        super().__init__(message)
+
+    @classmethod
+    def from_response(cls, response: Response) -> "ServeError":
+        return cls(
+            response.message or response.code.value if response.code else "error",
+            response.code or ErrorCode.INTERNAL,
+            response.detail,
+        )
+
+
+class ServeClient:
+    """Asyncio client with id-multiplexed in-flight requests."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[str, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._fail_pending(ServeError("connection closed"))
+
+    # ------------------------------------------------------------------
+    def _fail_pending(self, error: ServeError) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = decode_response(line)
+                except ProtocolError:
+                    continue  # tolerate garbage lines; ids still match up
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._fail_pending(ServeError("server closed the connection"))
+
+    async def request(
+        self, op: str, params: dict | None = None, *, tenant: str = "default"
+    ) -> dict:
+        """Send one request, await its response; raise on failure."""
+        import json
+
+        self._next_id += 1
+        request_id = f"c{self._next_id}"
+        line = json.dumps(
+            {
+                "id": request_id,
+                "op": op,
+                "tenant": tenant,
+                "params": params or {},
+            },
+            separators=(",", ":"),
+        )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(line.encode() + b"\n")
+            await self._writer.drain()
+        response: Response = await future
+        if not response.ok:
+            raise ServeError.from_response(response)
+        return response.result or {}
+
+    # -- convenience wrappers ------------------------------------------
+    async def seal(
+        self,
+        payload: bytes,
+        *,
+        base_address: int = 0,
+        counter: int = 1,
+        tenant: str = "default",
+    ) -> dict:
+        """Seal ``payload``; returns decoded kwargs for :meth:`unseal`."""
+        result = await self.request(
+            "seal",
+            {
+                "payload": to_b64(payload),
+                "base_address": base_address,
+                "counter": counter,
+            },
+            tenant=tenant,
+        )
+        return {
+            "ciphertext": from_b64(result["ciphertext"], "ciphertext"),
+            "tags": [from_b64(tag, "tag") for tag in result["tags"]],
+            "base_address": result["base_address"],
+            "counter": result["counter"],
+            "length": result["length"],
+        }
+
+    async def unseal(
+        self,
+        ciphertext: bytes,
+        tags: Sequence[bytes],
+        *,
+        base_address: int = 0,
+        counter: int = 1,
+        length: int | None = None,
+        tenant: str = "default",
+    ) -> bytes:
+        result = await self.request(
+            "unseal",
+            {
+                "ciphertext": to_b64(ciphertext),
+                "tags": [to_b64(tag) for tag in tags],
+                "base_address": base_address,
+                "counter": counter,
+                "length": length if length is not None else len(ciphertext),
+            },
+            tenant=tenant,
+        )
+        return from_b64(result["payload"], "payload")
+
+    async def verify(
+        self,
+        ciphertext: bytes,
+        tags: Sequence[bytes],
+        *,
+        base_address: int = 0,
+        counter: int = 1,
+        tenant: str = "default",
+    ) -> dict:
+        return await self.request(
+            "verify",
+            {
+                "ciphertext": to_b64(ciphertext),
+                "tags": [to_b64(tag) for tag in tags],
+                "base_address": base_address,
+                "counter": counter,
+            },
+            tenant=tenant,
+        )
+
+    async def plan(
+        self,
+        model: str = "mlp",
+        ratio: float = 0.5,
+        *,
+        width_scale: float = 0.25,
+        tenant: str = "default",
+    ) -> dict:
+        return await self.request(
+            "plan",
+            {"model": model, "ratio": ratio, "width_scale": width_scale},
+            tenant=tenant,
+        )
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+
+class BlockingServeClient:
+    """Synchronous facade: private event loop on a daemon thread.
+
+    Mirrors every :class:`ServeClient` method with a blocking signature;
+    usable as a context manager.  Intended for tests and interactive use —
+    high-concurrency callers should drive :class:`ServeClient` directly.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="serve-client", daemon=True
+        )
+        self._thread.start()
+        self._client: ServeClient = self._call(ServeClient.connect(host, port))
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(
+            self.timeout
+        )
+
+    def __enter__(self) -> "BlockingServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(self.timeout)
+            self._loop.close()
+
+    # -- mirrored methods ----------------------------------------------
+    def request(self, op: str, params: dict | None = None, *, tenant: str = "default") -> dict:
+        return self._call(self._client.request(op, params, tenant=tenant))
+
+    def seal(self, payload: bytes, **kwargs) -> dict:
+        return self._call(self._client.seal(payload, **kwargs))
+
+    def unseal(self, ciphertext: bytes, tags: Sequence[bytes], **kwargs) -> bytes:
+        return self._call(self._client.unseal(ciphertext, tags, **kwargs))
+
+    def verify(self, ciphertext: bytes, tags: Sequence[bytes], **kwargs) -> dict:
+        return self._call(self._client.verify(ciphertext, tags, **kwargs))
+
+    def plan(self, model: str = "mlp", ratio: float = 0.5, **kwargs) -> dict:
+        return self._call(self._client.plan(model, ratio, **kwargs))
+
+    def ping(self) -> dict:
+        return self._call(self._client.ping())
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def shutdown(self) -> dict:
+        return self._call(self._client.shutdown())

@@ -1,0 +1,115 @@
+"""Per-tenant token-bucket quotas for the serving front end.
+
+A classic token bucket per tenant: capacity ``burst`` tokens, refilled at
+``rate`` tokens/second, with one token charged per sealed/unsealed/
+verified *line* (so a 64-line payload costs 64× a 1-line ping-sized
+request — quota tracks actual crypto work, not request count).  Buckets
+never block: an empty bucket rejects immediately and the server turns
+that into a 429-style ``quota_exhausted`` response, observable under the
+``serve.requests.rejected.quota`` counter.
+
+The clock is injectable so the unit tests (and any simulation harness)
+can drive refill deterministically.
+
+>>> bucket = TokenBucket(rate=10.0, burst=2.0, clock=lambda: 0.0)
+>>> bucket.try_acquire(2)
+True
+>>> bucket.try_acquire(1)
+False
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError("rate must be >= 0 and burst positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        with self._lock:
+            self._refill()
+            if self._tokens + 1e-9 < tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+    def available(self) -> float:
+        """Current token balance (after refill) — monitoring only."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class QuotaManager:
+    """Lazy per-tenant buckets sharing one (rate, burst) policy.
+
+    ``rate <= 0`` disables quota entirely — every acquisition succeeds and
+    no buckets are created — which is the server default: quotas are
+    opt-in via ``--quota-rate``.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else max(rate, 1.0)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            return bucket
+
+    def try_acquire(self, tenant: str, tokens: float = 1.0) -> bool:
+        """Charge ``tenant`` ``tokens``; True when admitted."""
+        if not self.enabled:
+            return True
+        return self.bucket(tenant).try_acquire(tokens)
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._buckets)

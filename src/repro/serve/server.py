@@ -1,0 +1,735 @@
+"""The asyncio seal-as-a-service server.
+
+``python -m repro serve`` builds one :class:`ModelServer` over a TCP
+socket speaking the newline-delimited-JSON protocol of
+:mod:`repro.serve.protocol`.  Concurrent ``seal`` / ``unseal`` /
+``verify`` requests coalesce through per-op
+:class:`~repro.serve.batcher.MicroBatcher` instances into batched passes
+over :class:`repro.core.seal.LineSealer` — the vectorized crypto fast
+path — while ``plan`` / ``stats`` / ``ping`` execute directly.
+
+Admission control mirrors a production front end in miniature:
+
+* **backpressure** — at most ``queue_limit`` requests may be in flight;
+  request ``queue_limit + 1`` is rejected immediately with a 429-style
+  ``overloaded`` error (``serve.requests.rejected.backpressure``);
+* **quotas** — per-tenant token buckets charge one token per cache line
+  of crypto work (``serve.requests.rejected.quota``);
+* **timeouts** — a request running past ``request_timeout`` fails with
+  ``timeout`` (``serve.requests.timeout``); with a process pool the hung
+  worker is killed and the pool rebuilt;
+* **crash isolation** — with ``workers > 0`` the crypto executes in a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; a worker that dies
+  mid-batch fails only that batch (``crashed``) and the pool is rebuilt
+  (``serve.pool_restarts``), mirroring the ``run_hardened`` semantics of
+  :mod:`repro.faults.runner`.  Workers honour the same ``REPRO_CHAOS``
+  hooks as the sweep runners (label ``serve:<tenant>``), which is how the
+  tests crash/hang them on purpose.
+
+Observability: every admitted request lands one ``serve.request`` timer
+observation (p50/p95/p99 via the reservoir quantiles of
+:class:`repro.obs.metrics.TimerStat`) and — when tracing is enabled — one
+``serve.request`` span; batch executions record ``serve.batch`` spans
+with worker-side crypto spans re-rooted beneath them via
+:meth:`repro.obs.trace.Tracer.adopt`.  Schema reference:
+``docs/metrics.md`` and ``docs/tracing.md``; runbook: ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.plan import ModelEncryptionPlan
+from ..core.seal import LINE_BYTES, LineSealer
+from ..crypto.mac import MAC_BYTES
+from ..faults.chaos import chaos_probe
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.trace import get_tracer, worker_tracer
+from .batcher import MicroBatcher
+from .protocol import (
+    BATCHED_OPS,
+    PROTOCOL_SCHEMA,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    from_b64,
+    require_int,
+    require_tags,
+    to_b64,
+)
+from .quota import QuotaManager
+
+__all__ = ["DEFAULT_KEY", "ServeConfig", "ModelServer", "run_server"]
+
+#: Demo service key — a real deployment would provision per-tenant keys
+#: from an HSM; the protocol carries no key material either way.
+DEFAULT_KEY = bytes(range(16))
+
+#: Cap on cache lines per single request (keeps one request from
+#: monopolising a batch; larger payloads should be chunked client-side).
+MAX_LINES_PER_REQUEST = 4096
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything `python -m repro serve` lets you tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (printed in the banner)
+    key: bytes = DEFAULT_KEY
+    tag_bytes: int = MAC_BYTES
+    line_bytes: int = LINE_BYTES
+    backend: str | None = None  # crypto backend (None = env/default)
+    max_batch: int = 64  # requests per micro-batch
+    batch_window: float = 0.0  # linger for stragglers (seconds)
+    queue_limit: int = 256  # max in-flight requests before 429
+    workers: int = 0  # 0 = in-process threads; N = process pool
+    request_timeout: float | None = None  # seconds; None = unbounded
+    quota_rate: float = 0.0  # tenant tokens (lines)/second; 0 = off
+    quota_burst: float | None = None  # bucket capacity (default: rate)
+
+
+# ----------------------------------------------------------------------
+# Worker-pool entry point (module level so it pickles under spawn)
+# ----------------------------------------------------------------------
+_WORKER_SEALERS: dict[tuple, LineSealer] = {}
+
+
+def _worker_sealer(spec: dict) -> LineSealer:
+    signature = (spec["key"], spec["tag_bytes"], spec["line_bytes"], spec["backend"])
+    sealer = _WORKER_SEALERS.get(signature)
+    if sealer is None:
+        sealer = _WORKER_SEALERS[signature] = LineSealer(
+            spec["key"],
+            tag_bytes=spec["tag_bytes"],
+            line_bytes=spec["line_bytes"],
+            backend=spec["backend"],
+        )
+    return sealer
+
+
+def _run_batch_spec(spec: dict) -> dict:
+    """Execute one flattened batch spec (runs in a pool worker *or* an
+    in-process thread — the only difference is who merges the metrics)."""
+    for chaos_key, chaos_label in spec.get("chaos", ()):
+        chaos_probe(chaos_key, chaos_label)
+    sealer = _worker_sealer(spec)
+    op = spec["op"]
+    addresses = spec["addresses"]
+    counters = spec["counters"]
+    lines = spec["lines"]
+    out: dict = {"op": op}
+    with get_tracer().span("serve.batch") as span:
+        if span:
+            span.set_attr("op", op)
+            span.set_attr("lines", len(lines))
+            span.set_attr("requests", spec.get("requests", 1))
+            span.set_attr("backend", sealer.backend)
+        if op == "seal":
+            ciphertexts, tags = sealer.seal_lines(addresses, counters, lines)
+            out["ciphertexts"] = ciphertexts
+            out["tags"] = tags
+        elif op == "unseal":
+            plaintexts, verdicts = sealer.open_lines(
+                addresses, counters, lines, spec["tags"]
+            )
+            out["plaintexts"] = plaintexts
+            out["verdicts"] = verdicts
+        elif op == "verify":
+            out["verdicts"] = sealer.verify_lines(
+                addresses, counters, lines, spec["tags"]
+            )
+        else:  # pragma: no cover - guarded upstream
+            raise ValueError(f"unbatchable op {op!r}")
+    return out
+
+
+def _pool_run_batch(spec: dict) -> tuple[dict, dict, list[dict]]:
+    """Worker-process wrapper: private metrics + tracer, shipped back."""
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        with worker_tracer() as tracer:
+            result = _run_batch_spec(spec)
+            spans = tracer.span_dicts() if tracer is not None else []
+    finally:
+        set_metrics(previous)
+    return result, registry.snapshot(), spans
+
+
+# ----------------------------------------------------------------------
+# Request → work item parsing
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkItem:
+    """One batched request, flattened to its cache lines."""
+
+    request: Request
+    addresses: list[int]
+    counters: list[int]
+    lines: list[bytes]  # plaintext (seal) or ciphertext (unseal/verify)
+    tags: list[bytes] = field(default_factory=list)
+    length: int = 0  # original payload bytes (seal/unseal)
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.lines)
+
+
+class _OpError(Exception):
+    """Internal op failure carrying its wire error code."""
+
+    def __init__(
+        self, code: ErrorCode, message: str, detail: dict | None = None
+    ) -> None:
+        self.code = code
+        self.detail = detail
+        super().__init__(message)
+
+
+def _split_lines(blob: bytes, line_bytes: int) -> list[bytes]:
+    return [
+        blob[offset : offset + line_bytes]
+        for offset in range(0, len(blob), line_bytes)
+    ]
+
+
+def _parse_work_item(request: Request, line_bytes: int) -> _WorkItem:
+    params = request.params
+    base_address = require_int(params, "base_address", 0)
+    counter = require_int(params, "counter", 1)
+    if request.op == "seal":
+        payload = from_b64(params.get("payload"), "payload")
+        if not payload:
+            raise ProtocolError("'payload' must not be empty")
+        length = len(payload)
+        payload += bytes(-length % line_bytes)
+        lines = _split_lines(payload, line_bytes)
+        tags: list[bytes] = []
+    else:  # unseal / verify
+        ciphertext = from_b64(params.get("ciphertext"), "ciphertext")
+        if not ciphertext or len(ciphertext) % line_bytes:
+            raise ProtocolError(
+                f"'ciphertext' must be a non-empty multiple of {line_bytes} bytes"
+            )
+        lines = _split_lines(ciphertext, line_bytes)
+        tags = require_tags(params, len(lines))
+        length = (
+            require_int(params, "length", len(ciphertext))
+            if request.op == "unseal"
+            else 0
+        )
+        if request.op == "unseal" and not 0 < length <= len(ciphertext):
+            raise ProtocolError(
+                "'length' must be within the ciphertext size"
+            )
+    if len(lines) > MAX_LINES_PER_REQUEST:
+        raise ProtocolError(
+            f"payload spans {len(lines)} lines; the per-request cap is "
+            f"{MAX_LINES_PER_REQUEST} (chunk client-side)"
+        )
+    addresses = [base_address + index * line_bytes for index in range(len(lines))]
+    return _WorkItem(
+        request=request,
+        addresses=addresses,
+        counters=[counter] * len(lines),
+        lines=lines,
+        tags=tags,
+        length=length,
+    )
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class ModelServer:
+    """Asyncio TCP server wiring protocol → admission → batcher → sealer."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.quota = QuotaManager(
+            self.config.quota_rate, self.config.quota_burst
+        )
+        self._batchers = {
+            op: MicroBatcher(
+                self._make_executor(op),
+                max_batch=self.config.max_batch,
+                window_seconds=self.config.batch_window,
+            )
+            for op in BATCHED_OPS
+        }
+        self._sealer: LineSealer | None = None  # lazy (inline path)
+        self._pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._in_flight = 0
+        self._stopping = asyncio.Event()
+        self.port: int | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start accepting; returns the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for batcher in self._batchers.values():
+            await batcher.start()
+        return self.port
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`stop` (or a ``shutdown`` request) fires."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+
+    async def __aenter__(self) -> "ModelServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._stopping.set()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Closing lingering connections sends EOF to their read loops, so
+        # handler tasks finish (flushing buffered responses) instead of
+        # being cancelled mid-readline at event-loop teardown.
+        for writer in list(self._writers):
+            writer.close()
+        for batcher in self._batchers.values():
+            await batcher.stop()
+        self._teardown_pool(restart=False)
+
+    # -- execution backends ---------------------------------------------
+    def _inline_sealer(self) -> LineSealer:
+        if self._sealer is None:
+            self._sealer = LineSealer(
+                self.config.key,
+                tag_bytes=self.config.tag_bytes,
+                line_bytes=self.config.line_bytes,
+                backend=self.config.backend,
+            )
+        return self._sealer
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        return self._pool
+
+    def _teardown_pool(self, *, restart: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # A hung or dead worker cannot be joined: kill outright, as
+            # run_hardened does on timeout (docs/fault-model.md §2).
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+            if restart:
+                get_metrics().count("serve.pool_restarts")
+
+    def _spec(self, op: str, items: Sequence[_WorkItem]) -> dict:
+        spec: dict = {
+            "op": op,
+            "key": self.config.key,
+            "tag_bytes": self.config.tag_bytes,
+            "line_bytes": self.config.line_bytes,
+            "backend": self.config.backend,
+            "requests": len(items),
+            "addresses": [a for item in items for a in item.addresses],
+            "counters": [c for item in items for c in item.counters],
+            "lines": [line for item in items for line in item.lines],
+            "chaos": [
+                (item.request.id, f"serve:{item.request.tenant}")
+                for item in items
+            ],
+        }
+        if op in ("unseal", "verify"):
+            spec["tags"] = [tag for item in items for tag in item.tags]
+        return spec
+
+    async def _dispatch_spec(self, spec: dict) -> dict:
+        """Run one flattened batch on the configured backend, hardened."""
+        loop = asyncio.get_running_loop()
+        timeout = self.config.request_timeout
+        if self.config.workers > 0:
+            pool = self._ensure_pool()
+            future = loop.run_in_executor(pool, _pool_run_batch, spec)
+            try:
+                result, metrics, spans = await asyncio.wait_for(future, timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                self._teardown_pool(restart=True)
+                raise _OpError(
+                    ErrorCode.TIMEOUT,
+                    f"batch exceeded the {timeout:g}s request budget",
+                ) from None
+            except BrokenProcessPool:
+                self._teardown_pool(restart=True)
+                get_metrics().count("serve.worker_crashes")
+                raise _OpError(
+                    ErrorCode.CRASHED, "worker process died mid-batch"
+                ) from None
+            get_metrics().merge(metrics)
+            if spans:
+                tracer = get_tracer()
+                # Re-root the worker's serve.batch tree into this trace.
+                tracer.adopt(spans, parent=None)
+            return result
+        future = loop.run_in_executor(None, _run_batch_spec, spec)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            # Inline threads cannot be killed; the response is released
+            # but the thread leaks until it finishes (use workers > 0 for
+            # real isolation — docs/serving.md "Failure modes").
+            raise _OpError(
+                ErrorCode.TIMEOUT,
+                f"batch exceeded the {timeout:g}s request budget",
+            ) from None
+
+    def _make_executor(self, op: str):
+        async def execute(items: Sequence[_WorkItem]) -> list[object]:
+            result = await self._dispatch_spec(self._spec(op, items))
+            return self._unflatten(op, items, result)
+
+        return execute
+
+    @staticmethod
+    def _unflatten(
+        op: str, items: Sequence[_WorkItem], result: dict
+    ) -> list[object]:
+        """Slice the flattened batch result back into per-request results.
+
+        Returns wire ``result`` dicts, or :class:`_OpError` instances for
+        requests that individually failed (tag mismatch on unseal).
+        """
+        metrics = get_metrics()
+        out: list[object] = []
+        offset = 0
+        for item in items:
+            span = slice(offset, offset + item.n_lines)
+            offset += item.n_lines
+            if op == "seal":
+                ciphertexts = result["ciphertexts"][span]
+                tags = result["tags"][span]
+                metrics.count("serve.lines.sealed", item.n_lines)
+                out.append(
+                    {
+                        "ciphertext": to_b64(b"".join(ciphertexts)),
+                        "tags": [to_b64(tag) for tag in tags],
+                        "base_address": item.addresses[0],
+                        "counter": item.counters[0],
+                        "length": item.length,
+                        "line_bytes": len(item.lines[0]),
+                        "lines": item.n_lines,
+                    }
+                )
+            elif op == "unseal":
+                verdicts = result["verdicts"][span]
+                metrics.count("serve.lines.unsealed", item.n_lines)
+                bad = [i for i, ok in enumerate(verdicts) if not ok]
+                if bad:
+                    metrics.count("serve.verify_failures")
+                    out.append(
+                        _OpError(
+                            ErrorCode.VERIFY_FAILED,
+                            f"verification failed on line(s) "
+                            f"{', '.join(map(str, bad))}",
+                            detail={"lines": bad},
+                        )
+                    )
+                else:
+                    payload = b"".join(result["plaintexts"][span])[: item.length]
+                    out.append({"payload": to_b64(payload), "length": item.length})
+            else:  # verify
+                verdicts = [bool(ok) for ok in result["verdicts"][span]]
+                metrics.count("serve.lines.verified", item.n_lines)
+                if not all(verdicts):
+                    metrics.count("serve.verify_failures")
+                out.append(
+                    {
+                        "all_ok": all(verdicts),
+                        "line_ok": verdicts,
+                        "lines": item.n_lines,
+                    }
+                )
+        return out
+
+    # -- direct (non-batched) ops ---------------------------------------
+    async def _op_plan(self, request: Request) -> dict:
+        from ..nn.models import MODEL_BUILDERS, build_model
+
+        params = request.params
+        model_name = params.get("model", "mlp")
+        if model_name not in MODEL_BUILDERS:
+            raise ProtocolError(
+                f"unknown model {model_name!r}; choose from "
+                f"{', '.join(sorted(MODEL_BUILDERS))}"
+            )
+        ratio = params.get("ratio", 0.5)
+        if not isinstance(ratio, (int, float)) or not 0 < float(ratio) <= 1:
+            raise ProtocolError("'ratio' must be a number in (0, 1]")
+        width_scale = params.get("width_scale", 0.25)
+        if not isinstance(width_scale, (int, float)) or not 0 < float(width_scale) <= 1:
+            raise ProtocolError("'width_scale' must be a number in (0, 1]")
+
+        def build() -> dict:
+            kwargs = {} if width_scale == 1.0 else {"width_scale": float(width_scale)}
+            model = build_model(model_name, **kwargs)
+            plan = ModelEncryptionPlan.build(model, float(ratio))
+            return {
+                "model": plan.model_name,
+                "ratio": float(ratio),
+                "realized_ratio": plan.realized_ratio,
+                "layers": [
+                    {
+                        "name": layer.name,
+                        "kind": layer.kind,
+                        "rows": layer.n_rows,
+                        "encrypted_rows": int(layer.row_mask.sum()),
+                        "boundary": bool(layer.fully_encrypted),
+                    }
+                    for layer in plan.layers
+                ],
+            }
+
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(None, build)
+        try:
+            return await asyncio.wait_for(future, self.config.request_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise _OpError(
+                ErrorCode.TIMEOUT,
+                f"plan exceeded the {self.config.request_timeout:g}s budget",
+            ) from None
+
+    def _op_stats(self) -> dict:
+        snapshot = get_metrics().snapshot()
+        counters = {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith(("serve.", "crypto."))
+        }
+        timers = {
+            name: {
+                key: stat[key]
+                for key in (
+                    "count",
+                    "mean_seconds",
+                    "p50_seconds",
+                    "p95_seconds",
+                    "p99_seconds",
+                )
+            }
+            for name, stat in snapshot["timers"].items()
+            if name.startswith("serve.")
+        }
+        derived = {
+            name: value
+            for name, value in snapshot["derived"].items()
+            if name.startswith("serve_")
+        }
+        return {
+            "protocol": PROTOCOL_SCHEMA,
+            "in_flight": self._in_flight,
+            "tenants": self.quota.tenants(),
+            "counters": counters,
+            "timers": timers,
+            "derived": derived,
+        }
+
+    # -- per-request pipeline -------------------------------------------
+    async def handle_request(self, request: Request) -> Response:
+        """Admission → execution → response for one parsed request.
+
+        Public so unit tests (and in-process benches) can drive the full
+        pipeline without sockets.
+        """
+        metrics = get_metrics()
+        metrics.count("serve.requests.total")
+        metrics.count(f"serve.op.{request.op}")
+
+        if request.op == "ping":
+            return request.success({"pong": True, "protocol": PROTOCOL_SCHEMA})
+        if request.op == "stats":
+            return request.success(self._op_stats())
+        if request.op == "shutdown":
+            self._stopping.set()
+            return request.success({"stopping": True})
+
+        # Backpressure: reject before any work is queued.
+        if self._in_flight >= self.config.queue_limit:
+            metrics.count("serve.requests.rejected.backpressure")
+            return request.failure(
+                ErrorCode.OVERLOADED,
+                f"{self._in_flight} requests in flight "
+                f"(limit {self.config.queue_limit}); retry with backoff",
+            )
+
+        # Parse before charging quota so cost reflects real work.
+        try:
+            item = (
+                _parse_work_item(request, self.config.line_bytes)
+                if request.op in BATCHED_OPS
+                else None
+            )
+        except ProtocolError as error:
+            metrics.count("serve.requests.bad")
+            return request.failure(ErrorCode.BAD_REQUEST, str(error))
+
+        cost = float(item.n_lines) if item is not None else 1.0
+        if not self.quota.try_acquire(request.tenant, cost):
+            metrics.count("serve.requests.rejected.quota")
+            return request.failure(
+                ErrorCode.QUOTA_EXHAUSTED,
+                f"tenant {request.tenant!r} is out of quota "
+                f"({cost:g} line-token(s) needed)",
+            )
+
+        self._in_flight += 1
+        wall_start = time.time()
+        start = time.perf_counter()
+        status = "ok"
+        try:
+            if item is not None:
+                result = await self._batchers[request.op].submit(item)
+                if isinstance(result, _OpError):
+                    raise result
+                response = request.success(result)
+            elif request.op == "plan":
+                response = request.success(await self._op_plan(request))
+            else:  # pragma: no cover - decode_request rejects unknown ops
+                raise ProtocolError(f"unknown op {request.op!r}")
+            metrics.count("serve.requests.ok")
+        except _OpError as error:
+            status = error.code.value
+            if error.code is ErrorCode.TIMEOUT:
+                metrics.count("serve.requests.timeout")
+            else:
+                metrics.count("serve.requests.failed")
+            response = request.failure(error.code, str(error), error.detail)
+        except ProtocolError as error:
+            status = ErrorCode.BAD_REQUEST.value
+            metrics.count("serve.requests.bad")
+            response = request.failure(ErrorCode.BAD_REQUEST, str(error))
+        except Exception as error:  # internal: never drop the response
+            status = ErrorCode.INTERNAL.value
+            metrics.count("serve.requests.failed")
+            response = request.failure(ErrorCode.INTERNAL, repr(error))
+        finally:
+            self._in_flight -= 1
+            duration = time.perf_counter() - start
+            metrics.observe("serve.request", duration)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_span(
+                    "serve.request",
+                    wall_start,
+                    duration,
+                    attrs={
+                        "op": request.op,
+                        "tenant": request.tenant,
+                        "status": status,
+                        "lines": item.n_lines if item is not None else 0,
+                    },
+                    parent=None,
+                )
+        return response
+
+    # -- connection plumbing --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = get_metrics()
+        metrics.count("serve.connections")
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(response: Response) -> None:
+            async with write_lock:
+                writer.write(encode_response(response).encode() + b"\n")
+                await writer.drain()
+
+        async def serve_line(line: bytes) -> None:
+            try:
+                request = decode_request(line)
+            except ProtocolError as error:
+                metrics.count("serve.requests.bad")
+                await respond(
+                    Response(
+                        id="?",
+                        ok=False,
+                        code=error.code,
+                        message=str(error),
+                    )
+                )
+                return
+            await respond(await self.handle_request(request))
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(serve_line(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def _print_banner(message: str) -> None:
+    # Flushed so supervisors reading the pipe see the bound port at once.
+    print(message, flush=True)
+
+
+def run_server(config: ServeConfig, *, banner=_print_banner) -> int:
+    """Blocking entry point for the CLI: serve until shutdown/SIGINT."""
+
+    async def main() -> None:
+        server = ModelServer(config)
+        port = await server.start()
+        banner(
+            f"repro-serve listening on {config.host}:{port} "
+            f"({PROTOCOL_SCHEMA}, workers={config.workers}, "
+            f"max_batch={config.max_batch})",
+        )
+        try:
+            await server.serve_until_stopped()
+        finally:
+            banner("repro-serve stopped")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

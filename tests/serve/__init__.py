@@ -1,0 +1,1 @@
+"""Tests for the seal-as-a-service front end (repro.serve)."""

@@ -1,0 +1,179 @@
+"""Micro-batcher tests: coalescing, failure isolation, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.serve.batcher import MicroBatcher
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestCoalescing:
+    def test_single_item_dispatches_immediately(self, registry):
+        async def scenario():
+            batcher = MicroBatcher(lambda items: _double(items))
+            try:
+                return await batcher.submit(21)
+            finally:
+                await batcher.stop()
+
+        assert run(scenario()) == 42
+        assert registry.counters["serve.batches"] == 1
+
+    def test_concurrent_submissions_coalesce(self, registry):
+        batch_sizes = []
+
+        async def execute(items):
+            batch_sizes.append(len(items))
+            await asyncio.sleep(0.01)  # hold the drain loop busy
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(execute, max_batch=64)
+            try:
+                return await asyncio.gather(
+                    *(batcher.submit(n) for n in range(20))
+                )
+            finally:
+                await batcher.stop()
+
+        results = run(scenario())
+        assert results == [n * 2 for n in range(20)]
+        # First drain takes whatever raced in; while it executes the rest
+        # queue up, so there must be strictly fewer batches than items.
+        assert sum(batch_sizes) == 20
+        assert len(batch_sizes) < 20
+        assert registry.counters["serve.batch.requests"] == 20
+
+    def test_max_batch_caps_drain(self, registry):
+        batch_sizes = []
+
+        async def execute(items):
+            batch_sizes.append(len(items))
+            await asyncio.sleep(0.005)
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, max_batch=4)
+            try:
+                await asyncio.gather(*(batcher.submit(n) for n in range(10)))
+            finally:
+                await batcher.stop()
+
+        run(scenario())
+        assert max(batch_sizes) <= 4
+
+    def test_window_waits_for_stragglers(self, registry):
+        batch_sizes = []
+
+        async def execute(items):
+            batch_sizes.append(len(items))
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, window_seconds=0.2)
+            try:
+                first = asyncio.create_task(batcher.submit(1))
+                await asyncio.sleep(0.05)  # arrives inside the window
+                second = asyncio.create_task(batcher.submit(2))
+                await asyncio.gather(first, second)
+            finally:
+                await batcher.stop()
+
+        run(scenario())
+        assert batch_sizes == [2]
+
+
+class TestFailures:
+    def test_exception_result_fails_only_that_item(self, registry):
+        async def execute(items):
+            return [
+                ValueError("odd") if item % 2 else item for item in items
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(execute)
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit(n) for n in range(4)),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.stop()
+            return results
+
+        results = run(scenario())
+        assert results[0] == 0 and results[2] == 2
+        assert isinstance(results[1], ValueError)
+        assert isinstance(results[3], ValueError)
+
+    def test_executor_exception_fails_whole_batch(self, registry):
+        async def execute(items):
+            raise RuntimeError("pool died")
+
+        async def scenario():
+            batcher = MicroBatcher(execute)
+            try:
+                return await asyncio.gather(
+                    *(batcher.submit(n) for n in range(3)),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.stop()
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_result_count_mismatch_fails_batch(self, registry):
+        async def execute(items):
+            return [1]  # wrong arity
+
+        async def scenario():
+            batcher = MicroBatcher(execute)
+            try:
+                return await asyncio.gather(
+                    batcher.submit(1), batcher.submit(2),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.stop()
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_stop_fails_queued_submitters(self, registry):
+        async def execute(items):
+            await asyncio.sleep(30)
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(execute)
+            task = asyncio.create_task(batcher.submit(1))
+            await asyncio.sleep(0.01)
+            await batcher.stop()
+            with pytest.raises(RuntimeError):
+                await task
+
+        run(scenario())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(_double, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(_double, window_seconds=-1.0)
+
+
+async def _double(items):
+    return [item * 2 for item in items]

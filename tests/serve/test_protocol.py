@@ -1,0 +1,125 @@
+"""Wire-protocol tests: strict decoding, round trips, error mapping."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    decode_request,
+    decode_response,
+    encode_response,
+    from_b64,
+    require_int,
+    require_tags,
+    to_b64,
+)
+
+
+class TestDecodeRequest:
+    def test_minimal(self):
+        request = decode_request('{"id": "r1", "op": "ping"}')
+        assert request.id == "r1"
+        assert request.op == "ping"
+        assert request.tenant == "default"
+        assert request.params == {}
+
+    def test_full(self):
+        request = decode_request(
+            '{"id": "r2", "op": "seal", "tenant": "acme", "params": {"x": 1}}'
+        )
+        assert request.tenant == "acme"
+        assert request.params == {"x": 1}
+
+    def test_bytes_input(self):
+        assert decode_request(b'{"id": "r", "op": "stats"}').op == "stats"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"op": "ping"}',  # missing id
+            '{"id": "", "op": "ping"}',  # empty id
+            '{"id": 3, "op": "ping"}',  # non-string id
+            '{"id": "r", "op": "fry"}',  # unknown op
+            '{"id": "r", "op": "ping", "tenant": ""}',
+            '{"id": "r", "op": "ping", "params": []}',
+            '{"id": "r", "op": "ping", "typo_field": 1}',  # strict fields
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_oversized_line_rejected(self):
+        padding = "x" * MAX_LINE_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(f'{{"id": "r", "op": "ping", "params": {{"p": "{padding}"}}}}')
+
+    def test_every_op_decodes(self):
+        for op in OPS:
+            assert decode_request(json.dumps({"id": "r", "op": op})).op == op
+
+
+class TestResponses:
+    def test_success_round_trip(self):
+        request = Request(id="r9", op="ping")
+        line = encode_response(request.success({"pong": True}))
+        response = decode_response(line)
+        assert response.ok and response.id == "r9"
+        assert response.result == {"pong": True}
+
+    def test_failure_round_trip_keeps_code_and_detail(self):
+        request = Request(id="r9", op="unseal")
+        line = encode_response(
+            request.failure(
+                ErrorCode.VERIFY_FAILED, "bad tags", {"lines": [0, 3]}
+            )
+        )
+        document = json.loads(line)
+        assert document["error"]["status"] == 403
+        response = decode_response(line)
+        assert not response.ok
+        assert response.code is ErrorCode.VERIFY_FAILED
+        assert response.detail == {"lines": [0, 3]}
+
+    def test_unknown_error_code_degrades_to_internal(self):
+        response = decode_response(
+            '{"id": "r", "ok": false, "error": {"code": "novel", "message": "m"}}'
+        )
+        assert response.code is ErrorCode.INTERNAL
+
+    def test_every_code_has_a_status(self):
+        for code in ErrorCode:
+            assert code.status in (400, 403, 429, 500, 504)
+
+
+class TestHelpers:
+    def test_b64_round_trip(self):
+        blob = bytes(range(256))
+        assert from_b64(to_b64(blob)) == blob
+
+    @pytest.mark.parametrize("bad", [None, 7, "not base64!!"])
+    def test_bad_b64_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            from_b64(bad)
+
+    def test_require_int(self):
+        assert require_int({"n": 5}, "n") == 5
+        assert require_int({}, "n", 3) == 3
+        for params in ({}, {"n": "5"}, {"n": True}, {"n": -1}, {"n": 1.5}):
+            with pytest.raises(ProtocolError):
+                require_int(params, "n")
+
+    def test_require_tags(self):
+        tags = [to_b64(b"a" * 16), to_b64(b"b" * 16)]
+        assert require_tags({"tags": tags}, 2) == [b"a" * 16, b"b" * 16]
+        with pytest.raises(ProtocolError):
+            require_tags({"tags": tags}, 3)  # count mismatch
+        with pytest.raises(ProtocolError):
+            require_tags({}, 2)

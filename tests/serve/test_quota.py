@@ -1,0 +1,69 @@
+"""Token-bucket quota tests (deterministic via the injectable clock)."""
+
+import pytest
+
+from repro.serve.quota import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire(3)
+        assert not bucket.try_acquire(1)
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        assert bucket.try_acquire(4)
+        clock.now = 1.0  # +2 tokens
+        assert bucket.try_acquire(2)
+        assert not bucket.try_acquire(0.5)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.now = 60.0
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_fractional_costs(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        assert bucket.try_acquire(0.5)
+        assert bucket.try_acquire(0.5)
+        assert not bucket.try_acquire(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=1.0).try_acquire(0)
+
+
+class TestQuotaManager:
+    def test_disabled_admits_everything_without_buckets(self):
+        manager = QuotaManager(rate=0.0)
+        assert not manager.enabled
+        assert manager.try_acquire("anyone", 10_000)
+        assert manager.tenants() == []
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        manager = QuotaManager(rate=1.0, burst=2.0, clock=clock)
+        assert manager.try_acquire("a", 2)
+        assert not manager.try_acquire("a", 1)
+        assert manager.try_acquire("b", 2)  # b has its own bucket
+        assert manager.tenants() == ["a", "b"]
+
+    def test_default_burst_is_rate(self):
+        manager = QuotaManager(rate=5.0, clock=FakeClock())
+        assert manager.bucket("t").burst == 5.0

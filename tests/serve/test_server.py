@@ -1,0 +1,248 @@
+"""Server behaviour tests: admission control, hardening, observability.
+
+Each test runs a real :class:`ModelServer` on a loopback socket inside its
+own event loop — small and fast because the payloads are a few cache
+lines.  The worker-pool tests reuse the ``REPRO_CHAOS`` hooks from
+:mod:`repro.faults.chaos` (label ``serve:<tenant>``) to crash and hang
+workers on demand.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.core.seal import LineSealer
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.serve import ModelServer, ServeClient, ServeConfig, ServeError
+from repro.serve.protocol import ErrorCode
+
+LINE = 128
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+@contextlib.asynccontextmanager
+async def serving(config: ServeConfig):
+    async with ModelServer(config) as server:
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        try:
+            yield server, client
+        finally:
+            await client.close()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestRoundTrips:
+    def test_seal_unseal_verify(self, registry):
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                payload = bytes(range(256)) + b"tail"  # unaligned length
+                sealed = await client.seal(
+                    payload, base_address=0x2000, counter=9
+                )
+                assert len(sealed["ciphertext"]) % LINE == 0
+                assert sealed["length"] == len(payload)
+                assert await client.unseal(**sealed) == payload
+                verdict = await client.verify(
+                    sealed["ciphertext"], sealed["tags"],
+                    base_address=0x2000, counter=9,
+                )
+                assert verdict["all_ok"] is True
+
+        run(scenario())
+
+    def test_served_seal_matches_serial_sealer(self, registry):
+        async def scenario():
+            config = ServeConfig()
+            async with serving(config) as (_, client):
+                payload = b"\x5a" * 777
+                sealed = await client.seal(payload, base_address=64, counter=3)
+                reference = LineSealer(config.key).seal(
+                    payload, base_address=64, counter=3
+                )
+                assert sealed["ciphertext"] == reference.ciphertext
+                assert sealed["tags"] == list(reference.tags)
+
+        run(scenario())
+
+    def test_tampered_unseal_names_lines(self, registry):
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                sealed = await client.seal(b"\x11" * (LINE * 3))
+                corrupted = bytearray(sealed["ciphertext"])
+                corrupted[LINE] ^= 0x01  # line 1
+                with pytest.raises(ServeError) as info:
+                    await client.unseal(
+                        bytes(corrupted), sealed["tags"],
+                        length=sealed["length"],
+                    )
+                assert info.value.code is ErrorCode.VERIFY_FAILED
+                assert info.value.status == 403
+                assert info.value.detail == {"lines": [1]}
+                verdict = await client.verify(bytes(corrupted), sealed["tags"])
+                assert verdict["line_ok"] == [True, False, True]
+
+        run(scenario())
+
+    def test_plan_and_ping_and_stats(self, registry):
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                assert (await client.ping())["pong"] is True
+                plan = await client.plan("mlp", 0.5)
+                assert plan["model"].startswith("MLP")
+                assert 0.5 <= plan["realized_ratio"] <= 1.0
+                assert any(layer["boundary"] for layer in plan["layers"])
+                await client.seal(b"x" * LINE)
+                stats = await client.stats()
+                assert stats["protocol"] == "repro.serve/v1"
+                assert stats["counters"]["serve.lines.sealed"] == 1
+                assert stats["timers"]["serve.request"]["count"] >= 1
+
+        run(scenario())
+
+    def test_bad_requests_are_rejected_not_fatal(self, registry):
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                for op, params in [
+                    ("seal", {}),  # missing payload
+                    ("seal", {"payload": ""}),  # empty payload
+                    ("seal", {"payload": "###"}),  # invalid base64
+                    ("unseal", {"ciphertext": "QQ==", "tags": []}),  # misaligned
+                    ("plan", {"model": "gpt"}),  # unknown model
+                    ("plan", {"ratio": 2.0}),  # out of range
+                ]:
+                    with pytest.raises(ServeError) as info:
+                        await client.request(op, params)
+                    assert info.value.code is ErrorCode.BAD_REQUEST
+                # The connection survives all of the above.
+                assert (await client.ping())["pong"] is True
+
+        run(scenario())
+
+    def test_shutdown_op_stops_server(self, registry):
+        async def scenario():
+            server = ModelServer(ServeConfig())
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            client = await ServeClient.connect("127.0.0.1", port)
+            assert (await client.shutdown())["stopping"] is True
+            await asyncio.wait_for(serve_task, timeout=5)
+            await client.close()
+
+        run(scenario())
+
+
+class TestAdmissionControl:
+    def test_backpressure_rejects_beyond_queue_limit(self, registry):
+        async def scenario():
+            config = ServeConfig(queue_limit=1, max_batch=1)
+            async with serving(config) as (_, client):
+                payload = b"p" * (LINE * 64)
+                results = await asyncio.gather(
+                    *(client.seal(payload) for _ in range(12)),
+                    return_exceptions=True,
+                )
+                rejected = [
+                    r for r in results
+                    if isinstance(r, ServeError)
+                    and r.code is ErrorCode.OVERLOADED
+                ]
+                succeeded = [r for r in results if isinstance(r, dict)]
+                assert rejected and succeeded
+                assert len(rejected) + len(succeeded) == 12
+                stats = await client.stats()
+                assert stats["counters"][
+                    "serve.requests.rejected.backpressure"
+                ] == len(rejected)
+
+        run(scenario())
+
+    def test_quota_charges_per_line_and_isolates_tenants(self, registry):
+        async def scenario():
+            # Negligible refill: the burst is the whole budget.
+            config = ServeConfig(quota_rate=1e-6, quota_burst=4.0)
+            async with serving(config) as (_, client):
+                await client.seal(b"q" * (LINE * 4), tenant="meter")
+                with pytest.raises(ServeError) as info:
+                    await client.seal(b"q" * LINE, tenant="meter")
+                assert info.value.code is ErrorCode.QUOTA_EXHAUSTED
+                assert info.value.status == 429
+                # A different tenant has an untouched bucket.
+                await client.seal(b"q" * LINE, tenant="fresh")
+                stats = await client.stats()
+                assert stats["counters"]["serve.requests.rejected.quota"] == 1
+                assert stats["tenants"] == ["fresh", "meter"]
+
+        run(scenario())
+
+
+class TestHardening:
+    def test_worker_crash_is_isolated_and_pool_restarts(
+        self, registry, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", json.dumps({"crash": ["serve:evil"]}))
+
+        async def scenario():
+            config = ServeConfig(workers=1, request_timeout=30.0)
+            async with serving(config) as (_, client):
+                before = await client.seal(b"c" * LINE, tenant="good")
+                with pytest.raises(ServeError) as info:
+                    await client.seal(b"c" * LINE, tenant="evil")
+                assert info.value.code is ErrorCode.CRASHED
+                monkeypatch.delenv("REPRO_CHAOS")
+                after = await client.seal(b"c" * LINE, tenant="good")
+                assert after["ciphertext"] == before["ciphertext"]
+                stats = await client.stats()
+                assert stats["counters"]["serve.pool_restarts"] == 1
+                assert stats["counters"]["serve.worker_crashes"] == 1
+
+        run(scenario())
+
+    def test_hung_worker_times_out_and_pool_recovers(
+        self, registry, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            json.dumps({"hang": ["serve:sloth"], "hang_seconds": 60}),
+        )
+
+        async def scenario():
+            config = ServeConfig(workers=1, request_timeout=0.8)
+            async with serving(config) as (_, client):
+                with pytest.raises(ServeError) as info:
+                    await client.seal(b"t" * LINE, tenant="sloth")
+                assert info.value.code is ErrorCode.TIMEOUT
+                assert info.value.status == 504
+                monkeypatch.delenv("REPRO_CHAOS")
+                await client.seal(b"t" * LINE, tenant="good")
+                stats = await client.stats()
+                assert stats["counters"]["serve.requests.timeout"] == 1
+                assert stats["counters"]["serve.pool_restarts"] == 1
+
+        run(scenario())
+
+    def test_inline_timeout_without_pool(self, registry, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            json.dumps({"hang": ["serve:sloth"], "hang_seconds": 2}),
+        )
+
+        async def scenario():
+            config = ServeConfig(workers=0, request_timeout=0.3)
+            async with serving(config) as (_, client):
+                with pytest.raises(ServeError) as info:
+                    await client.seal(b"i" * LINE, tenant="sloth")
+                assert info.value.code is ErrorCode.TIMEOUT
+
+        run(scenario())

@@ -34,8 +34,22 @@ class TestRepoDocs:
         assert "0 broken links" in proc.stdout
 
     def test_docs_pages_exist(self):
-        for page in ("architecture.md", "metrics.md", "threat-model.md"):
+        for page in (
+            "index.md",
+            "architecture.md",
+            "serving.md",
+            "metrics.md",
+            "tracing.md",
+            "threat-model.md",
+            "fault-model.md",
+        ):
             assert (REPO / "docs" / page).exists()
+
+    def test_index_links_every_docs_page(self):
+        index = (REPO / "docs" / "index.md").read_text()
+        for page in sorted(p.name for p in (REPO / "docs").glob("*.md")):
+            if page != "index.md":
+                assert f"({page})" in index, f"docs/index.md misses {page}"
 
 
 class TestChecker:
@@ -77,6 +91,38 @@ class TestChecker:
             "[x](https://example.com/y) [m](mailto:a@b.c)\n"
         )
         assert check_links.check_file(tmp_path / "a.md") == []
+
+    def test_duplicate_headings_get_github_suffixes(self, tmp_path):
+        (tmp_path / "b.md").write_text(
+            "## Setup\ntext\n## Setup\ntext\n## Setup\n"
+        )
+        (tmp_path / "a.md").write_text(
+            "[first](b.md#setup) [second](b.md#setup-1) "
+            "[third](b.md#setup-2) [bad](b.md#setup-3)\n"
+        )
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
+        assert "missing anchor -> b.md#setup-3" in problems[0]
+
+    def test_html_id_and_name_anchors_match_verbatim(self, tmp_path):
+        (tmp_path / "b.md").write_text(
+            "# Doc\n\n<a id=\"Wire-Format\"></a>\nsection\n"
+            "<a name='quotas'></a>\nmore\n"
+        )
+        (tmp_path / "a.md").write_text(
+            "[id](b.md#Wire-Format) [name](b.md#quotas) [bad](b.md#nope)\n"
+        )
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
+        assert "b.md#nope" in problems[0]
+
+    def test_html_anchor_inside_fence_is_not_an_anchor(self, tmp_path):
+        (tmp_path / "b.md").write_text(
+            "# Doc\n```html\n<a id=\"fenced\"></a>\n```\n"
+        )
+        (tmp_path / "a.md").write_text("[bad](b.md#fenced)\n")
+        problems = check_links.check_file(tmp_path / "a.md")
+        assert len(problems) == 1
 
     def test_anchor_slug_strips_backticks_and_punctuation(self):
         slug = check_links.github_anchor("`repro.metrics/v1` — the schema")

@@ -9,10 +9,13 @@ import repro.attacks
 import repro.attacks.security
 import repro.attacks.sweep
 import repro.core.keys
+import repro.core.seal
 import repro.crypto.aes
 import repro.crypto.fastpath
 import repro.faults.campaign
 import repro.obs.trace
+import repro.serve.protocol
+import repro.serve.quota
 
 
 @pytest.mark.parametrize(
@@ -23,10 +26,13 @@ import repro.obs.trace
         repro.attacks.security,
         repro.attacks.sweep,
         repro.core.keys,
+        repro.core.seal,
         repro.crypto.aes,
         repro.crypto.fastpath,
         repro.faults.campaign,
         repro.obs.trace,
+        repro.serve.protocol,
+        repro.serve.quota,
     ],
 )
 def test_module_doctests(module):

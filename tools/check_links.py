@@ -10,7 +10,10 @@ markdown link or image, targets that are not external (``http://``,
 ``https://``, ``mailto:``) are resolved relative to the containing file
 and must exist; ``#fragment`` suffixes on markdown targets (and bare
 ``#fragment`` self-links) must match a GitHub-style heading anchor in the
-target document.  Links inside fenced code blocks are ignored.  Exit code
+target document.  Anchor matching covers the full GitHub repertoire:
+repeated headings get ``-1``/``-2``… suffixes exactly as GitHub numbers
+them, and explicit ``<a id="...">`` / ``<a name="...">`` HTML anchors are
+honoured verbatim.  Links inside fenced code blocks are ignored.  Exit code
 is 0 when every link resolves, 1 otherwise (one ``file:line: message``
 diagnostic per broken link).  Stdlib only, so CI can run it anywhere.
 """
@@ -24,6 +27,7 @@ from pathlib import Path
 
 LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()\s]*\))?)(?:\s+\"[^\"]*\")?\)")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+HTML_ANCHOR = re.compile(r"<a\s+(?:id|name)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE)
 EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -59,11 +63,23 @@ def document_lines(path: Path) -> list[tuple[int, str]]:
 
 
 def anchors_of(path: Path) -> set[str]:
-    return {
-        github_anchor(match.group(1))
-        for _, text in document_lines(path)
-        if (match := HEADING.match(text))
-    }
+    """Every anchor the rendered document exposes.
+
+    Heading anchors follow GitHub's de-duplication: the first ``## Setup``
+    is ``#setup``, the second ``#setup-1``, and so on in document order.
+    Explicit ``<a id="...">`` / ``<a name="...">`` anchors are taken
+    verbatim (GitHub does not slug them).
+    """
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for _, text in document_lines(path):
+        if match := HEADING.match(text):
+            slug = github_anchor(match.group(1))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        anchors.update(HTML_ANCHOR.findall(text))
+    return anchors
 
 
 def check_file(path: Path) -> list[str]:
@@ -79,7 +95,10 @@ def check_file(path: Path) -> list[str]:
                 problems.append(f"{path}:{number}: broken link -> {target}")
                 continue
             if fragment and resolved.suffix == ".md":
-                if github_anchor(fragment) not in anchors_of(resolved):
+                anchors = anchors_of(resolved)
+                # Heading links arrive pre-slugged by authors with varying
+                # care, so normalise; explicit HTML anchors match verbatim.
+                if fragment not in anchors and github_anchor(fragment) not in anchors:
                     problems.append(
                         f"{path}:{number}: missing anchor -> {target}"
                     )
