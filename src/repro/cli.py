@@ -307,6 +307,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
+        shutdown_token=args.shutdown_token,
+        allow_remote_shutdown=args.allow_remote_shutdown,
     )
     return run_server(config)
 
@@ -552,7 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--max-batch", type=int, default=64, metavar="N",
-        help="max requests coalesced into one crypto batch (default 64)",
+        help="max requests coalesced into one crypto batch (default 64; "
+        "a timed-out batch fails every request coalesced into it, so "
+        "larger batches amplify timeout collateral — docs/serving.md)",
     )
     p_serve.add_argument(
         "--batch-window", type=float, default=0.0, metavar="SECONDS",
@@ -581,6 +585,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--quota-burst", type=float, default=None, metavar="LINES",
         help="per-tenant bucket capacity (default: --quota-rate)",
+    )
+    p_serve.add_argument(
+        "--shutdown-token", metavar="TOKEN", default=None,
+        help="require this token in shutdown requests (params.token); "
+        "without it, the shutdown op is honoured only on loopback binds",
+    )
+    p_serve.add_argument(
+        "--allow-remote-shutdown", action="store_true",
+        help="honour unauthenticated shutdown requests on non-loopback "
+        "binds (off by default; prefer --shutdown-token)",
     )
     p_serve.add_argument(
         "--metrics-out", metavar="PATH",

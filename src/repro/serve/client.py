@@ -25,6 +25,7 @@ import threading
 from typing import Sequence
 
 from .protocol import (
+    STREAM_LIMIT_BYTES,
     ErrorCode,
     ProtocolError,
     Response,
@@ -74,7 +75,11 @@ class ServeClient:
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "ServeClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        # Raise the 64 KiB default StreamReader limit to the protocol's
+        # line bound, or large (legal) responses would kill the reader.
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=STREAM_LIMIT_BYTES
+        )
         return cls(reader, writer)
 
     async def __aenter__(self) -> "ServeClient":
@@ -118,6 +123,10 @@ class ServeClient:
                     future.set_result(response)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
+        except ValueError:
+            # A response line overran the stream limit; framing is lost,
+            # so fail everything in flight rather than dying silently.
+            pass
         finally:
             self._fail_pending(ServeError("server closed the connection"))
 
@@ -154,19 +163,23 @@ class ServeClient:
         payload: bytes,
         *,
         base_address: int = 0,
-        counter: int = 1,
+        counter: int | None = None,
         tenant: str = "default",
     ) -> dict:
-        """Seal ``payload``; returns decoded kwargs for :meth:`unseal`."""
-        result = await self.request(
-            "seal",
-            {
-                "payload": to_b64(payload),
-                "base_address": base_address,
-                "counter": counter,
-            },
-            tenant=tenant,
-        )
+        """Seal ``payload``; returns decoded kwargs for :meth:`unseal`.
+
+        When ``counter`` is omitted the *server* assigns a fresh one
+        (returned in the result) so repeated seals never reuse a CTR
+        pad; pass an explicit counter only to pin a reproducible
+        keystream, e.g. to mirror a simulator memory image.
+        """
+        params: dict = {
+            "payload": to_b64(payload),
+            "base_address": base_address,
+        }
+        if counter is not None:
+            params["counter"] = counter
+        result = await self.request("seal", params, tenant=tenant)
         return {
             "ciphertext": from_b64(result["ciphertext"], "ciphertext"),
             "tags": [from_b64(tag, "tag") for tag in result["tags"]],
@@ -238,8 +251,9 @@ class ServeClient:
     async def stats(self) -> dict:
         return await self.request("stats")
 
-    async def shutdown(self) -> dict:
-        return await self.request("shutdown")
+    async def shutdown(self, *, token: str | None = None) -> dict:
+        params = {"token": token} if token is not None else {}
+        return await self.request("shutdown", params)
 
 
 class BlockingServeClient:
@@ -302,5 +316,5 @@ class BlockingServeClient:
     def stats(self) -> dict:
         return self._call(self._client.stats())
 
-    def shutdown(self) -> dict:
-        return self._call(self._client.shutdown())
+    def shutdown(self, *, token: str | None = None) -> dict:
+        return self._call(self._client.shutdown(token=token))

@@ -42,6 +42,7 @@ __all__ = [
     "OPS",
     "BATCHED_OPS",
     "MAX_LINE_BYTES",
+    "STREAM_LIMIT_BYTES",
     "ErrorCode",
     "ProtocolError",
     "Request",
@@ -68,12 +69,20 @@ BATCHED_OPS = ("seal", "unseal", "verify")
 #: benched mix — while bounding per-request memory.
 MAX_LINE_BYTES = 2 * 1024 * 1024
 
+#: ``limit=`` for :func:`asyncio.start_server` / ``open_connection``.
+#: asyncio's default ``StreamReader`` limit is 64 KiB, under which
+#: ``readline`` raises :class:`ValueError` on any longer line — so both
+#: sides of the connection must raise it to the protocol's line bound
+#: (plus slack for framing) or legal payloads would kill the stream.
+STREAM_LIMIT_BYTES = MAX_LINE_BYTES + 1024
+
 
 class ErrorCode(str, Enum):
     """Error codes with their HTTP-flavoured status for familiarity."""
 
     BAD_REQUEST = "bad_request"          # 400: malformed JSON / params
     VERIFY_FAILED = "verify_failed"      # 403: authentication tag mismatch
+    FORBIDDEN = "forbidden"              # 403: op not permitted (shutdown)
     OVERLOADED = "overloaded"            # 429: bounded queue full
     QUOTA_EXHAUSTED = "quota_exhausted"  # 429: tenant token bucket empty
     TIMEOUT = "timeout"                  # 504: per-request budget exceeded
@@ -85,6 +94,7 @@ class ErrorCode(str, Enum):
         return {
             ErrorCode.BAD_REQUEST: 400,
             ErrorCode.VERIFY_FAILED: 403,
+            ErrorCode.FORBIDDEN: 403,
             ErrorCode.OVERLOADED: 429,
             ErrorCode.QUOTA_EXHAUSTED: 429,
             ErrorCode.TIMEOUT: 504,

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -53,7 +54,9 @@ from ..obs.trace import get_tracer, worker_tracer
 from .batcher import MicroBatcher
 from .protocol import (
     BATCHED_OPS,
+    MAX_LINE_BYTES,
     PROTOCOL_SCHEMA,
+    STREAM_LIMIT_BYTES,
     ErrorCode,
     ProtocolError,
     Request,
@@ -77,6 +80,21 @@ DEFAULT_KEY = bytes(range(16))
 #: monopolising a batch; larger payloads should be chunked client-side).
 MAX_LINES_PER_REQUEST = 4096
 
+#: First server-assigned write counter for ``seal`` requests that omit
+#: one.  The CTR keystream depends on the (line address, counter) pair —
+#: reusing a pair under one key hands an attacker the XOR of the two
+#: plaintexts — so the server allocates a fresh counter per defaulted
+#: seal.  Starting high keeps the assigned range clear of the small
+#: counters clients tend to pick by hand; the datapath packs counters
+#: into 32 bits, so assignment wraps (and pads repeat) only after ~2.7
+#: billion defaulted seals.
+SEAL_COUNTER_BASE = 0x5EA1_0000
+
+#: How many recent (base_address, counter) seal pairs are remembered for
+#: pad-reuse detection (``serve.seal.pad_reuse``); bounded LRU so the
+#: tracker cannot grow without limit.
+PAD_REUSE_TRACKED = 65536
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -95,6 +113,8 @@ class ServeConfig:
     request_timeout: float | None = None  # seconds; None = unbounded
     quota_rate: float = 0.0  # tenant tokens (lines)/second; 0 = off
     quota_burst: float | None = None  # bucket capacity (default: rate)
+    shutdown_token: str | None = None  # require params.token on shutdown
+    allow_remote_shutdown: bool = False  # honour shutdown off-loopback
 
 
 # ----------------------------------------------------------------------
@@ -272,13 +292,18 @@ class ModelServer:
         self._writers: set[asyncio.StreamWriter] = set()
         self._in_flight = 0
         self._stopping = asyncio.Event()
+        self._seal_counter = SEAL_COUNTER_BASE
+        self._sealed_pairs: OrderedDict[tuple[int, int], None] = OrderedDict()
         self.port: int | None = None
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> int:
         """Bind and start accepting; returns the actual port."""
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=STREAM_LIMIT_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         for batcher in self._batchers.values():
@@ -554,6 +579,57 @@ class ModelServer:
             "derived": derived,
         }
 
+    # -- nonce hygiene ---------------------------------------------------
+    def _next_seal_counter(self) -> int:
+        self._seal_counter += 1
+        return self._seal_counter & 0xFFFFFFFF
+
+    def _note_seal_pair(self, base_address: int, counter: int) -> None:
+        """Track recent seal (base_address, counter) pairs; count reuse.
+
+        Request-granularity heuristic: two seals sharing a pair reuse
+        the CTR pad line-for-line (overlapping ranges under the same
+        counter do too, which this does not catch).  Warn-only — reuse
+        may be a deliberate re-seal of identical content — but it is the
+        signal to watch on ``serve.seal.pad_reuse`` (docs/serving.md).
+        """
+        pair = (base_address, counter)
+        if pair in self._sealed_pairs:
+            self._sealed_pairs.move_to_end(pair)
+            get_metrics().count("serve.seal.pad_reuse")
+            return
+        self._sealed_pairs[pair] = None
+        if len(self._sealed_pairs) > PAD_REUSE_TRACKED:
+            self._sealed_pairs.popitem(last=False)
+
+    # -- shutdown gating -------------------------------------------------
+    def _shutdown_denial(self, request: Request) -> Response | None:
+        """None if this shutdown request may proceed, else the refusal.
+
+        With a configured token the caller must present it; without one,
+        shutdown is honoured only on loopback binds unless
+        ``allow_remote_shutdown`` opts in — any socket peer can other-
+        wise stop the service (docs/serving.md "Security caveats").
+        """
+        token = self.config.shutdown_token
+        if token is not None:
+            if request.params.get("token") == token:
+                return None
+            return request.failure(
+                ErrorCode.FORBIDDEN,
+                "shutdown requires the configured shutdown token",
+            )
+        host = self.config.host
+        if host in ("localhost", "::1") or host.startswith("127."):
+            return None
+        if self.config.allow_remote_shutdown:
+            return None
+        return request.failure(
+            ErrorCode.FORBIDDEN,
+            "remote shutdown is disabled on a non-loopback bind; start "
+            "with --allow-remote-shutdown or --shutdown-token",
+        )
+
     # -- per-request pipeline -------------------------------------------
     async def handle_request(self, request: Request) -> Response:
         """Admission → execution → response for one parsed request.
@@ -570,6 +646,10 @@ class ModelServer:
         if request.op == "stats":
             return request.success(self._op_stats())
         if request.op == "shutdown":
+            denial = self._shutdown_denial(request)
+            if denial is not None:
+                metrics.count("serve.requests.rejected.shutdown")
+                return denial
             self._stopping.set()
             return request.success({"stopping": True})
 
@@ -582,6 +662,13 @@ class ModelServer:
                 f"(limit {self.config.queue_limit}); retry with backoff",
             )
 
+        # A seal without an explicit counter gets a server-assigned one:
+        # the client default used to be a constant, which made every
+        # defaulted seal reuse the same CTR pad (XOR of two ciphertexts
+        # = XOR of the plaintexts).  Fresh counters keep pads unique.
+        if request.op == "seal" and request.params.get("counter") is None:
+            request.params["counter"] = self._next_seal_counter()
+
         # Parse before charging quota so cost reflects real work.
         try:
             item = (
@@ -592,6 +679,8 @@ class ModelServer:
         except ProtocolError as error:
             metrics.count("serve.requests.bad")
             return request.failure(ErrorCode.BAD_REQUEST, str(error))
+        if item is not None and request.op == "seal":
+            self._note_seal_pair(item.addresses[0], item.counters[0])
 
         cost = float(item.n_lines) if item is not None else 1.0
         if not self.quota.try_acquire(request.tenant, cost):
@@ -688,6 +777,28 @@ class ModelServer:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # readline overran STREAM_LIMIT_BYTES: the line is
+                    # over the protocol bound anyway, so answer with
+                    # bad_request — but the partial line was discarded,
+                    # framing is lost, and the connection must close.
+                    metrics.count("serve.requests.bad")
+                    try:
+                        await respond(
+                            Response(
+                                id="?",
+                                ok=False,
+                                code=ErrorCode.BAD_REQUEST,
+                                message=(
+                                    f"request line exceeds {MAX_LINE_BYTES} "
+                                    "bytes; chunk payloads client-side "
+                                    "(closing connection)"
+                                ),
+                            )
+                        )
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        pass
                     break
                 if not line:
                     break

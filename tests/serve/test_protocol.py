@@ -7,6 +7,7 @@ import pytest
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     OPS,
+    STREAM_LIMIT_BYTES,
     ErrorCode,
     ProtocolError,
     Request,
@@ -97,6 +98,11 @@ class TestResponses:
     def test_every_code_has_a_status(self):
         for code in ErrorCode:
             assert code.status in (400, 403, 429, 500, 504)
+
+    def test_stream_limit_covers_the_line_bound(self):
+        # Any line the protocol admits must fit the StreamReader limit,
+        # or readline would kill the connection on legal payloads.
+        assert STREAM_LIMIT_BYTES > MAX_LINE_BYTES
 
 
 class TestHelpers:

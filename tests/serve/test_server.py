@@ -16,7 +16,7 @@ import pytest
 from repro.core.seal import LineSealer
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.serve import ModelServer, ServeClient, ServeConfig, ServeError
-from repro.serve.protocol import ErrorCode
+from repro.serve.protocol import STREAM_LIMIT_BYTES, ErrorCode
 
 LINE = 128
 
@@ -85,12 +85,18 @@ class TestRoundTrips:
                 with pytest.raises(ServeError) as info:
                     await client.unseal(
                         bytes(corrupted), sealed["tags"],
+                        base_address=sealed["base_address"],
+                        counter=sealed["counter"],
                         length=sealed["length"],
                     )
                 assert info.value.code is ErrorCode.VERIFY_FAILED
                 assert info.value.status == 403
                 assert info.value.detail == {"lines": [1]}
-                verdict = await client.verify(bytes(corrupted), sealed["tags"])
+                verdict = await client.verify(
+                    bytes(corrupted), sealed["tags"],
+                    base_address=sealed["base_address"],
+                    counter=sealed["counter"],
+                )
                 assert verdict["line_ok"] == [True, False, True]
 
         run(scenario())
@@ -196,12 +202,14 @@ class TestHardening:
         async def scenario():
             config = ServeConfig(workers=1, request_timeout=30.0)
             async with serving(config) as (_, client):
-                before = await client.seal(b"c" * LINE, tenant="good")
+                # Explicit counter: the determinism assertion below needs
+                # an identical keystream before and after the restart.
+                before = await client.seal(b"c" * LINE, tenant="good", counter=7)
                 with pytest.raises(ServeError) as info:
                     await client.seal(b"c" * LINE, tenant="evil")
                 assert info.value.code is ErrorCode.CRASHED
                 monkeypatch.delenv("REPRO_CHAOS")
-                after = await client.seal(b"c" * LINE, tenant="good")
+                after = await client.seal(b"c" * LINE, tenant="good", counter=7)
                 assert after["ciphertext"] == before["ciphertext"]
                 stats = await client.stats()
                 assert stats["counters"]["serve.pool_restarts"] == 1
@@ -244,5 +252,156 @@ class TestHardening:
                 with pytest.raises(ServeError) as info:
                     await client.seal(b"i" * LINE, tenant="sloth")
                 assert info.value.code is ErrorCode.TIMEOUT
+
+        run(scenario())
+
+
+class TestStreamLimits:
+    def test_large_payload_exceeds_default_stream_limit(self, registry):
+        """A payload whose wire line tops asyncio's 64 KiB StreamReader
+        default must round-trip (regression: start_server/open_connection
+        now pass limit=STREAM_LIMIT_BYTES)."""
+
+        async def scenario():
+            config = ServeConfig()
+            async with serving(config) as (_, client):
+                payload = bytes(range(256)) * 384  # 96 KiB -> ~128 KiB line
+                sealed = await client.seal(
+                    payload, base_address=0x4000, counter=2
+                )
+                reference = LineSealer(config.key).seal(
+                    payload, base_address=0x4000, counter=2
+                )
+                assert sealed["ciphertext"] == reference.ciphertext
+                assert await client.unseal(**sealed) == payload
+
+        run(scenario())
+
+    def test_oversized_line_gets_error_response_then_close(self, registry):
+        """A line over STREAM_LIMIT_BYTES draws a bad_request response
+        (not a silent connection drop); framing is lost so the server
+        then closes the connection."""
+
+        async def scenario():
+            async with ModelServer(ServeConfig()) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                try:
+                    writer.write(
+                        b'{"id":"big","op":"ping","params":{"pad":"'
+                        + b"x" * (STREAM_LIMIT_BYTES + 64)
+                        + b'"}}\n'
+                    )
+                    with contextlib.suppress(
+                        ConnectionResetError, BrokenPipeError
+                    ):
+                        await writer.drain()
+                    document = json.loads(await reader.readline())
+                    assert document["ok"] is False
+                    assert document["error"]["code"] == "bad_request"
+                    assert "exceeds" in document["error"]["message"]
+                    assert await reader.readline() == b""  # closed
+                finally:
+                    writer.close()
+                    with contextlib.suppress(
+                        ConnectionResetError, BrokenPipeError, OSError
+                    ):
+                        await writer.wait_closed()
+
+        run(scenario())
+
+
+class TestNonceHygiene:
+    def test_defaulted_seals_never_share_a_counter(self, registry):
+        """Omitting ``counter`` must yield a fresh server-assigned one
+        per seal — two defaulted seals of the same bytes may never share
+        a CTR pad (their ciphertext XOR would reveal the plaintext XOR).
+        """
+
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                payload = b"same bytes, sealed twice" * 8
+                first = await client.seal(payload)
+                second = await client.seal(payload)
+                assert first["counter"] != second["counter"]
+                assert first["ciphertext"] != second["ciphertext"]
+                assert await client.unseal(**first) == payload
+                assert await client.unseal(**second) == payload
+                stats = await client.stats()
+                assert "serve.seal.pad_reuse" not in stats["counters"]
+
+        run(scenario())
+
+    def test_explicit_counter_reuse_is_counted(self, registry):
+        async def scenario():
+            async with serving(ServeConfig()) as (_, client):
+                await client.seal(b"a" * LINE, base_address=0, counter=5)
+                await client.seal(b"b" * LINE, base_address=0, counter=5)
+                # Different base address: a distinct pad, no reuse.
+                await client.seal(
+                    b"c" * LINE, base_address=LINE * 64, counter=5
+                )
+                stats = await client.stats()
+                assert stats["counters"]["serve.seal.pad_reuse"] == 1
+
+        run(scenario())
+
+
+class TestShutdownGating:
+    def test_shutdown_token_required_when_configured(self, registry):
+        async def scenario():
+            server = ModelServer(ServeConfig(shutdown_token="s3cret"))
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                for attempt in (None, "wrong"):
+                    with pytest.raises(ServeError) as info:
+                        await client.shutdown(token=attempt)
+                    assert info.value.code is ErrorCode.FORBIDDEN
+                    assert info.value.status == 403
+                assert (await client.ping())["pong"] is True  # still up
+                stats = await client.stats()
+                assert stats["counters"][
+                    "serve.requests.rejected.shutdown"
+                ] == 2
+                result = await client.shutdown(token="s3cret")
+                assert result["stopping"] is True
+                await asyncio.wait_for(serve_task, timeout=5)
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_non_loopback_bind_refuses_unauthenticated_shutdown(
+        self, registry
+    ):
+        async def scenario():
+            config = ServeConfig(host="0.0.0.0")
+            async with ModelServer(config) as server:
+                client = await ServeClient.connect("127.0.0.1", server.port)
+                try:
+                    with pytest.raises(ServeError) as info:
+                        await client.shutdown()
+                    assert info.value.code is ErrorCode.FORBIDDEN
+                    assert (await client.ping())["pong"] is True
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_allow_remote_shutdown_opts_in(self, registry):
+        async def scenario():
+            config = ServeConfig(host="0.0.0.0", allow_remote_shutdown=True)
+            server = ModelServer(config)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                assert (await client.shutdown())["stopping"] is True
+                await asyncio.wait_for(serve_task, timeout=5)
+            finally:
+                await client.close()
 
         run(scenario())
