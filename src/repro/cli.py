@@ -309,6 +309,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quota_burst=args.quota_burst,
         shutdown_token=args.shutdown_token,
         allow_remote_shutdown=args.allow_remote_shutdown,
+        drain_timeout=args.drain_timeout,
+        degraded_threshold=args.degraded_threshold,
+        degraded_recovery=args.degraded_recovery,
     )
     return run_server(config)
 
@@ -536,8 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(protocol repro.serve/v1; reference and runbook in "
         "docs/serving.md).  Concurrent requests coalesce through the "
         "vectorized crypto fastpath; REPRO_CRYPTO_BACKEND (or "
-        "--crypto-backend) pins the backend.  Stop with Ctrl-C or a "
-        "shutdown request; --metrics-out/--trace-out are written then.",
+        "--crypto-backend) pins the backend.  SIGTERM/Ctrl-C drains "
+        "gracefully (see --drain-timeout) and a shutdown request stops "
+        "at once; --metrics-out/--trace-out are written either way.",
     )
     p_serve.add_argument(
         "--host", default="127.0.0.1",
@@ -595,6 +599,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-remote-shutdown", action="store_true",
         help="honour unauthenticated shutdown requests on non-loopback "
         "binds (off by default; prefer --shutdown-token)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/SIGINT: finish in-flight "
+        "requests up to this long while answering new ones with "
+        "'unavailable' + retry_after (default 5; a second signal stops "
+        "immediately — docs/serving.md 'Drain sequence')",
+    )
+    p_serve.add_argument(
+        "--degraded-threshold", type=int, default=3, metavar="N",
+        help="consecutive worker-pool crashes before the circuit opens "
+        "and crypto falls back to in-process serial execution "
+        "(default 3; only meaningful with --workers)",
+    )
+    p_serve.add_argument(
+        "--degraded-recovery", type=float, default=30.0, metavar="SECONDS",
+        help="while degraded, how long between recovery probes that let "
+        "one batch try the rebuilt worker pool (default 30)",
     )
     p_serve.add_argument(
         "--metrics-out", metavar="PATH",

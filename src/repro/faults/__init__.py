@@ -22,7 +22,13 @@ runners); the tamper/campaign half is loaded lazily so importing
 
 from __future__ import annotations
 
-from .chaos import CHAOS_ENV_VAR, ChaosConfig, ChaosFault, chaos_probe
+from .chaos import (
+    CHAOS_ENV_VAR,
+    ChaosConfig,
+    ChaosFault,
+    chaos_io_action,
+    chaos_probe,
+)
 from .quarantine import QUARANTINE_SUFFIX, quarantine_artifact
 from .runner import RetryPolicy, UnitExecutionError, run_hardened
 
@@ -30,6 +36,7 @@ __all__ = [
     "CHAOS_ENV_VAR",
     "ChaosConfig",
     "ChaosFault",
+    "chaos_io_action",
     "chaos_probe",
     "QUARANTINE_SUFFIX",
     "quarantine_artifact",

@@ -23,6 +23,16 @@ Fields (all optional):
 ``hang``
     Units whose worker sleeps ``hang_seconds`` (default 3600 — far past
     any sane per-unit timeout).
+``drop``
+    *Service-layer* faults (probed via :func:`chaos_io_action` by the
+    serving front end, not by pool workers): the connection carrying the
+    matched request is hard-closed mid-response — the client sees a
+    truncated line and then a dead socket, exactly what a crashed or
+    partitioned server looks like from outside.
+``stall``
+    Service-layer write stalls: the response to a matched request is
+    delayed ``stall_seconds`` (default 0.2) before the write, modelling
+    a congested or half-dead peer.
 ``once`` (default ``true``)
     Fire each fault only the first time its unit runs, recorded through a
     sentinel file in ``sentinel_dir``; the retried attempt then succeeds.
@@ -48,7 +58,13 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["CHAOS_ENV_VAR", "ChaosFault", "ChaosConfig", "chaos_probe"]
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosFault",
+    "ChaosConfig",
+    "chaos_probe",
+    "chaos_io_action",
+]
 
 #: Environment variable read by :func:`chaos_probe`.
 CHAOS_ENV_VAR = "REPRO_CHAOS"
@@ -66,6 +82,9 @@ class ChaosConfig:
     crash: tuple[str, ...] = ()
     hang: tuple[str, ...] = ()
     hang_seconds: float = 3600.0
+    drop: tuple[str, ...] = ()
+    stall: tuple[str, ...] = ()
+    stall_seconds: float = 0.2
     once: bool = True
     sentinel_dir: str | None = None
     exit_code: int = 13
@@ -90,6 +109,9 @@ class ChaosConfig:
                 crash=tuple(str(p) for p in payload.get("crash", ())),
                 hang=tuple(str(p) for p in payload.get("hang", ())),
                 hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+                drop=tuple(str(p) for p in payload.get("drop", ())),
+                stall=tuple(str(p) for p in payload.get("stall", ())),
+                stall_seconds=float(payload.get("stall_seconds", 0.2)),
                 once=bool(payload.get("once", True)),
                 sentinel_dir=payload.get("sentinel_dir"),
                 exit_code=int(payload.get("exit_code", 13)),
@@ -140,3 +162,28 @@ def chaos_probe(key: str, label: str = "") -> None:
     pattern = config._matches(config.hang, key, label)
     if pattern is not None and config._should_fire("hang", pattern):
         time.sleep(config.hang_seconds)
+
+
+def chaos_io_action(key: str, label: str = "") -> tuple[str, float] | None:
+    """Service-layer fault-injection point (serving front end).
+
+    Unlike :func:`chaos_probe`, which sabotages the *worker* doing the
+    unit's computation, this probes the I/O boundary *after* the work
+    succeeded: the serving layer calls it just before writing a response
+    and acts on the verdict itself.  Returns ``None`` (no fault), or
+    ``("drop", 0.0)`` — hard-close the connection mid-response — or
+    ``("stall", seconds)`` — delay the write that long.  Same selection
+    (label match or key prefix) and once-semantics as the worker hooks.
+    """
+    if not os.environ.get(CHAOS_ENV_VAR):
+        return None
+    config = ChaosConfig.from_env()
+    if config is None:
+        return None
+    pattern = config._matches(config.drop, key, label)
+    if pattern is not None and config._should_fire("drop", pattern):
+        return ("drop", 0.0)
+    pattern = config._matches(config.stall, key, label)
+    if pattern is not None and config._should_fire("stall", pattern):
+        return ("stall", config.stall_seconds)
+    return None

@@ -13,15 +13,19 @@ parts, one per module:
   requests into one batched pass through the vectorized crypto fast path;
 * :mod:`repro.serve.server` — admission control (bounded in-flight
   queue with 429-style rejection), per-request timeouts, a crash-isolated
-  worker pool, ``serve.*`` metrics and request spans;
-* :mod:`repro.serve.client` — asyncio and blocking clients used by the
-  tests and the load-generator bench.
+  worker pool with a degraded-mode circuit breaker, graceful drain on
+  SIGTERM/SIGINT, a quota-exempt ``health`` op, ``serve.*`` metrics and
+  request spans;
+* :mod:`repro.serve.client` — asyncio and blocking clients with
+  automatic reconnect and bounded, nonce-safe retry
+  (:class:`~repro.serve.client.RetryPolicy`), used by the tests and the
+  load/soak benches.
 
 Protocol reference and ops runbook: ``docs/serving.md``.
 """
 
 from .batcher import MicroBatcher
-from .client import BlockingServeClient, ServeClient, ServeError
+from .client import BlockingServeClient, RetryPolicy, ServeClient, ServeError
 from .protocol import (
     PROTOCOL_SCHEMA,
     ErrorCode,
@@ -53,5 +57,6 @@ __all__ = [
     "ServeConfig",
     "ServeClient",
     "BlockingServeClient",
+    "RetryPolicy",
     "ServeError",
 ]

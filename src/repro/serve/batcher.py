@@ -76,13 +76,16 @@ class MicroBatcher(Generic[ItemT, ResultT]):
         self._drain_counter = label + suffix
         self._queue: asyncio.Queue[tuple[ItemT, asyncio.Future]] = asyncio.Queue()
         self._task: asyncio.Task | None = None
+        self._stopped = False
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        self._stopped = False
         if self._task is None:
             self._task = asyncio.create_task(self._drain_loop(), name=self.label)
 
     async def stop(self) -> None:
+        self._stopped = True
         if self._task is not None:
             self._task.cancel()
             try:
@@ -97,7 +100,15 @@ class MicroBatcher(Generic[ItemT, ResultT]):
                 future.set_exception(RuntimeError("batcher stopped"))
 
     async def submit(self, item: ItemT) -> ResultT:
-        """Queue ``item`` and await its individual result."""
+        """Queue ``item`` and await its individual result.
+
+        Raises ``RuntimeError("batcher stopped")`` after :meth:`stop` —
+        a late submitter during shutdown must fail fast, not silently
+        respawn the drain task on a server that is going away (an
+        explicit :meth:`start` re-arms the batcher).
+        """
+        if self._stopped:
+            raise RuntimeError("batcher stopped")
         if self._task is None:
             await self.start()
         future: asyncio.Future = asyncio.get_running_loop().create_future()

@@ -43,6 +43,7 @@ __all__ = [
     "BATCHED_OPS",
     "MAX_LINE_BYTES",
     "STREAM_LIMIT_BYTES",
+    "RETRYABLE_CODES",
     "ErrorCode",
     "ProtocolError",
     "Request",
@@ -59,7 +60,10 @@ PROTOCOL_SCHEMA = "repro.serve/v1"
 
 #: Every operation the server understands.  ``seal``/``unseal``/``verify``
 #: run through the micro-batcher; the rest execute directly.
-OPS = ("seal", "unseal", "verify", "plan", "stats", "ping", "shutdown")
+#: ``ping``/``stats``/``health`` are liveness ops: exempt from per-tenant
+#: quota, the bounded admission queue, and drain rejection, so they keep
+#: answering under overload and during a graceful drain.
+OPS = ("seal", "unseal", "verify", "plan", "stats", "ping", "health", "shutdown")
 
 #: Operations coalesced by :class:`repro.serve.batcher.MicroBatcher`.
 BATCHED_OPS = ("seal", "unseal", "verify")
@@ -85,8 +89,10 @@ class ErrorCode(str, Enum):
     FORBIDDEN = "forbidden"              # 403: op not permitted (shutdown)
     OVERLOADED = "overloaded"            # 429: bounded queue full
     QUOTA_EXHAUSTED = "quota_exhausted"  # 429: tenant token bucket empty
+    UNAVAILABLE = "unavailable"          # 503: draining; retry elsewhere
     TIMEOUT = "timeout"                  # 504: per-request budget exceeded
     CRASHED = "crashed"                  # 500: worker died mid-request
+    CONNECTION_LOST = "connection_lost"  # 503: client-side, never on the wire
     INTERNAL = "internal"                # 500: anything else
 
     @property
@@ -97,10 +103,30 @@ class ErrorCode(str, Enum):
             ErrorCode.FORBIDDEN: 403,
             ErrorCode.OVERLOADED: 429,
             ErrorCode.QUOTA_EXHAUSTED: 429,
+            ErrorCode.UNAVAILABLE: 503,
             ErrorCode.TIMEOUT: 504,
             ErrorCode.CRASHED: 500,
+            ErrorCode.CONNECTION_LOST: 503,
             ErrorCode.INTERNAL: 500,
         }[self]
+
+
+#: Codes a retrying client may transparently replay: the request either
+#: never reached execution (``overloaded``, ``unavailable``), the batch
+#: died before completing (``crashed`` — the pool is rebuilt), or the
+#: *response* was lost (``connection_lost``, synthesized client-side when
+#: the connection drops with requests in flight).  ``timeout`` is
+#: deliberately absent: a payload that hangs the datapath would burn a
+#: full request budget per attempt, so timeouts are surfaced to the
+#: caller instead of retried blindly (docs/serving.md, "Resilience").
+RETRYABLE_CODES = frozenset(
+    {
+        ErrorCode.OVERLOADED,
+        ErrorCode.UNAVAILABLE,
+        ErrorCode.CRASHED,
+        ErrorCode.CONNECTION_LOST,
+    }
+)
 
 
 class ProtocolError(ValueError):

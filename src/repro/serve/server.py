@@ -38,6 +38,9 @@ with worker-side crypto spans re-rooted beneath them via
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import hashlib
+import signal
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -48,7 +51,7 @@ from typing import Sequence
 from ..core.plan import ModelEncryptionPlan
 from ..core.seal import LINE_BYTES, LineSealer
 from ..crypto.mac import MAC_BYTES
-from ..faults.chaos import chaos_probe
+from ..faults.chaos import chaos_io_action, chaos_probe
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
 from ..obs.trace import get_tracer, worker_tracer
 from .batcher import MicroBatcher
@@ -115,6 +118,9 @@ class ServeConfig:
     quota_burst: float | None = None  # bucket capacity (default: rate)
     shutdown_token: str | None = None  # require params.token on shutdown
     allow_remote_shutdown: bool = False  # honour shutdown off-loopback
+    drain_timeout: float = 5.0  # graceful-drain budget for in-flight work
+    degraded_threshold: int = 3  # consecutive pool crashes before degrading
+    degraded_recovery: float = 30.0  # seconds between pool recovery probes
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +299,14 @@ class ModelServer:
         self._in_flight = 0
         self._stopping = asyncio.Event()
         self._seal_counter = SEAL_COUNTER_BASE
-        self._sealed_pairs: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._sealed_pairs: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        # Lifecycle: graceful drain (stop accepting, finish in-flight).
+        self._draining = False
+        self._drain_deadline: float | None = None
+        # Degraded mode: circuit breaker over the worker pool.
+        self._degraded = False
+        self._pool_crashes = 0  # consecutive, reset on any pool success
+        self._probe_at = 0.0  # monotonic time of the next recovery probe
         self.port: int | None = None
 
     # -- lifecycle ------------------------------------------------------
@@ -319,6 +332,62 @@ class ModelServer:
 
     async def stop(self) -> None:
         self._stopping.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Graceful drain: stop accepting, finish in-flight, then stop.
+
+        The sequence (docs/serving.md, "Drain sequence"): close the
+        listening socket so no new connection lands here; answer new
+        requests on existing connections with ``unavailable`` +
+        ``retry_after`` (liveness ops still answer); wait for in-flight
+        requests to finish, up to ``timeout`` (default
+        ``config.drain_timeout``); then set the stop event — the normal
+        shutdown path closes connections, stops batchers and tears down
+        the pool, and the CLI flushes ``--metrics-out``/``--trace-out``.
+
+        Returns ``True`` if every in-flight request finished inside the
+        budget, ``False`` on a drain timeout (remaining requests are cut
+        off by shutdown).  Idempotent: a second call returns at once.
+        """
+        if self._draining:
+            await self._stopping.wait()
+            return self._in_flight == 0
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        self._drain_deadline = loop.time() + budget
+        get_metrics().count("serve.drain.started")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._in_flight > 0 and loop.time() < self._drain_deadline:
+            await asyncio.sleep(0.02)
+        drained = self._in_flight == 0
+        get_metrics().count(
+            "serve.drain.completed" if drained else "serve.drain.timeout"
+        )
+        self._stopping.set()
+        return drained
+
+    def _retry_after_hint(self) -> float:
+        """How long a drained-away client should wait before retrying
+        (against a replacement instance — this one is going away)."""
+        if self._drain_deadline is None:
+            return 1.0
+        try:
+            remaining = self._drain_deadline - asyncio.get_running_loop().time()
+        except RuntimeError:  # pragma: no cover - callers are async
+            remaining = 0.0
+        return round(max(0.05, remaining), 3)
 
     async def __aenter__(self) -> "ModelServer":
         await self.start()
@@ -389,11 +458,47 @@ class ModelServer:
             spec["tags"] = [tag for item in items for tag in item.tags]
         return spec
 
+    # -- degraded-mode circuit breaker ----------------------------------
+    def _pool_allowed(self) -> bool:
+        """Should this batch go to the worker pool right now?
+
+        ``False`` with ``workers == 0`` (no pool configured) or while the
+        circuit is open — except that once ``degraded_recovery`` seconds
+        have passed since the last pool failure, one batch is let through
+        as a *recovery probe*: if it succeeds the circuit closes, if it
+        crashes the probe timer rearms and serial fallback continues.
+        """
+        if self.config.workers <= 0:
+            return False
+        if not self._degraded:
+            return True
+        if time.monotonic() >= self._probe_at:
+            get_metrics().count("serve.degraded.probes")
+            return True
+        return False
+
+    def _note_pool_crash(self) -> None:
+        self._pool_crashes += 1
+        if self._degraded:
+            # A recovery probe crashed: stay degraded, back off again.
+            self._probe_at = time.monotonic() + self.config.degraded_recovery
+            return
+        if self._pool_crashes >= self.config.degraded_threshold:
+            self._degraded = True
+            self._probe_at = time.monotonic() + self.config.degraded_recovery
+            get_metrics().count("serve.degraded.entered")
+
+    def _note_pool_success(self) -> None:
+        self._pool_crashes = 0
+        if self._degraded:
+            self._degraded = False
+            get_metrics().count("serve.degraded.recovered")
+
     async def _dispatch_spec(self, spec: dict) -> dict:
         """Run one flattened batch on the configured backend, hardened."""
         loop = asyncio.get_running_loop()
         timeout = self.config.request_timeout
-        if self.config.workers > 0:
+        if self._pool_allowed():
             pool = self._ensure_pool()
             future = loop.run_in_executor(pool, _pool_run_batch, spec)
             try:
@@ -407,15 +512,25 @@ class ModelServer:
             except BrokenProcessPool:
                 self._teardown_pool(restart=True)
                 get_metrics().count("serve.worker_crashes")
+                self._note_pool_crash()
                 raise _OpError(
                     ErrorCode.CRASHED, "worker process died mid-batch"
                 ) from None
+            self._note_pool_success()
             get_metrics().merge(metrics)
             if spans:
                 tracer = get_tracer()
                 # Re-root the worker's serve.batch tree into this trace.
                 tracer.adopt(spans, parent=None)
             return result
+        if self.config.workers > 0:
+            # Degraded fallback: serial in-process execution — correct but
+            # slower and unisolated.  Worker-boundary chaos probes are
+            # stripped: they model *worker* faults, and firing them here
+            # would sabotage the very process the fallback keeps alive.
+            get_metrics().count("serve.degraded.batches")
+            get_metrics().count("serve.degraded.requests", spec.get("requests", 1))
+            spec = dict(spec, chaos=())
         future = loop.run_in_executor(None, _run_batch_spec, spec)
         try:
             return await asyncio.wait_for(future, timeout)
@@ -579,26 +694,71 @@ class ModelServer:
             "derived": derived,
         }
 
+    def _op_health(self) -> dict:
+        """Liveness/readiness snapshot — quota- and admission-exempt.
+
+        ``status`` is the one-word summary supervisors branch on:
+        ``ok`` | ``degraded`` (pool circuit open, serial fallback active)
+        | ``draining`` (no new work admitted; this instance is going
+        away).  The rest is the queue/worker detail behind it.
+        """
+        counters = get_metrics().counters
+        if self._draining:
+            status = "draining"
+        elif self._degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "protocol": PROTOCOL_SCHEMA,
+            "draining": self._draining,
+            "degraded": self._degraded,
+            "in_flight": self._in_flight,
+            "queue_limit": self.config.queue_limit,
+            "queued": {
+                op: batcher.pending()
+                for op, batcher in self._batchers.items()
+            },
+            "workers": {
+                "configured": self.config.workers,
+                "pool_live": self._pool is not None,
+                "crashes": counters.get("serve.worker_crashes", 0),
+                "restarts": counters.get("serve.pool_restarts", 0),
+            },
+        }
+
     # -- nonce hygiene ---------------------------------------------------
     def _next_seal_counter(self) -> int:
         self._seal_counter += 1
         return self._seal_counter & 0xFFFFFFFF
 
-    def _note_seal_pair(self, base_address: int, counter: int) -> None:
+    def _note_seal_pair(
+        self, base_address: int, counter: int, lines: Sequence[bytes]
+    ) -> None:
         """Track recent seal (base_address, counter) pairs; count reuse.
 
         Request-granularity heuristic: two seals sharing a pair reuse
         the CTR pad line-for-line (overlapping ranges under the same
-        counter do too, which this does not catch).  Warn-only — reuse
-        may be a deliberate re-seal of identical content — but it is the
-        signal to watch on ``serve.seal.pad_reuse`` (docs/serving.md).
+        counter do too, which this does not catch).  A payload digest is
+        kept per pair so *byte-identical* repeats — the retrying client
+        replaying a pinned-counter ``seal`` whose response was lost —
+        count as benign ``serve.seal.replays`` (same pad, same plaintext,
+        same ciphertext: nothing leaks), while a repeat with *different*
+        bytes counts ``serve.seal.pad_reuse`` — the XOR-of-plaintexts
+        leak, the signal to watch (docs/serving.md).
         """
         pair = (base_address, counter)
-        if pair in self._sealed_pairs:
+        digest = hashlib.sha256(b"".join(lines)).digest()[:16]
+        known = self._sealed_pairs.get(pair)
+        if known is not None:
             self._sealed_pairs.move_to_end(pair)
-            get_metrics().count("serve.seal.pad_reuse")
+            get_metrics().count(
+                "serve.seal.replays" if known == digest
+                else "serve.seal.pad_reuse"
+            )
             return
-        self._sealed_pairs[pair] = None
+        self._sealed_pairs[pair] = digest
         if len(self._sealed_pairs) > PAD_REUSE_TRACKED:
             self._sealed_pairs.popitem(last=False)
 
@@ -641,10 +801,15 @@ class ModelServer:
         metrics.count("serve.requests.total")
         metrics.count(f"serve.op.{request.op}")
 
+        # Liveness ops answer before every admission check — quota,
+        # backpressure, drain — so monitors keep seeing the truth while
+        # the server is overloaded or going away (docs/serving.md).
         if request.op == "ping":
             return request.success({"pong": True, "protocol": PROTOCOL_SCHEMA})
         if request.op == "stats":
             return request.success(self._op_stats())
+        if request.op == "health":
+            return request.success(self._op_health())
         if request.op == "shutdown":
             denial = self._shutdown_denial(request)
             if denial is not None:
@@ -652,6 +817,15 @@ class ModelServer:
                 return denial
             self._stopping.set()
             return request.success({"stopping": True})
+
+        # Draining: no new work; tell the client when to retry elsewhere.
+        if self._draining:
+            metrics.count("serve.requests.rejected.draining")
+            return request.failure(
+                ErrorCode.UNAVAILABLE,
+                "server is draining; retry against a live instance",
+                detail={"retry_after": self._retry_after_hint()},
+            )
 
         # Backpressure: reject before any work is queued.
         if self._in_flight >= self.config.queue_limit:
@@ -680,7 +854,7 @@ class ModelServer:
             metrics.count("serve.requests.bad")
             return request.failure(ErrorCode.BAD_REQUEST, str(error))
         if item is not None and request.op == "seal":
-            self._note_seal_pair(item.addresses[0], item.counters[0])
+            self._note_seal_pair(item.addresses[0], item.counters[0], item.lines)
 
         cost = float(item.n_lines) if item is not None else 1.0
         if not self.quota.try_acquire(request.tenant, cost):
@@ -770,7 +944,29 @@ class ModelServer:
                     )
                 )
                 return
-            await respond(await self.handle_request(request))
+            response = await self.handle_request(request)
+            # Service-layer chaos: sabotage the *response* I/O after the
+            # work succeeded — the faults a client-side retry must absorb.
+            action = chaos_io_action(request.id, f"serve:{request.tenant}")
+            if action is not None:
+                kind, seconds = action
+                if kind == "drop":
+                    # Write a truncated response, then hard-close: the
+                    # client sees a partial line and a dead socket.
+                    metrics.count("serve.chaos.connection_drops")
+                    async with write_lock:
+                        wire = encode_response(response).encode()
+                        writer.write(wire[: max(1, len(wire) // 4)])
+                        with contextlib.suppress(
+                            ConnectionResetError, BrokenPipeError, OSError
+                        ):
+                            await writer.drain()
+                        writer.transport.abort()
+                    return
+                if kind == "stall":
+                    metrics.count("serve.chaos.write_stalls")
+                    await asyncio.sleep(seconds)
+            await respond(response)
 
         try:
             while True:
@@ -824,10 +1020,41 @@ def _print_banner(message: str) -> None:
 
 
 def run_server(config: ServeConfig, *, banner=_print_banner) -> int:
-    """Blocking entry point for the CLI: serve until shutdown/SIGINT."""
+    """Blocking entry point for the CLI: serve until shutdown or signal.
+
+    SIGTERM and SIGINT trigger a *graceful drain* (docs/serving.md,
+    "Drain sequence"): stop accepting, finish in-flight work up to
+    ``config.drain_timeout``, then stop — returning normally so the CLI
+    flushes ``--metrics-out`` / ``--trace-out`` on the way down.  A
+    second signal skips the drain and stops immediately.
+    """
 
     async def main() -> None:
         server = ModelServer(config)
+        loop = asyncio.get_running_loop()
+        drains: set[asyncio.Task] = set()
+
+        def request_drain(signame: str) -> None:
+            if server.draining:
+                banner(f"repro-serve: second {signame}, stopping now")
+                task = loop.create_task(server.stop())
+            else:
+                banner(
+                    f"repro-serve: {signame} received, draining "
+                    f"(timeout {config.drain_timeout:g}s)"
+                )
+                task = loop.create_task(server.drain())
+            drains.add(task)
+            task.add_done_callback(drains.discard)
+
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_drain, sig.name)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-Unix loop / nested loop: KeyboardInterrupt path
+
         port = await server.start()
         banner(
             f"repro-serve listening on {config.host}:{port} "
@@ -836,7 +1063,11 @@ def run_server(config: ServeConfig, *, banner=_print_banner) -> int:
         )
         try:
             await server.serve_until_stopped()
+            if drains:
+                await asyncio.gather(*drains, return_exceptions=True)
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             banner("repro-serve stopped")
 
     try:

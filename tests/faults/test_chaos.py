@@ -4,7 +4,13 @@ import time
 
 import pytest
 
-from repro.faults.chaos import CHAOS_ENV_VAR, ChaosConfig, ChaosFault, chaos_probe
+from repro.faults.chaos import (
+    CHAOS_ENV_VAR,
+    ChaosConfig,
+    ChaosFault,
+    chaos_io_action,
+    chaos_probe,
+)
 
 
 def test_disabled_without_env(monkeypatch):
@@ -68,3 +74,39 @@ def test_hang_action_sleeps(monkeypatch):
     start = time.perf_counter()
     chaos_probe("k", "t")
     assert time.perf_counter() - start >= 0.05
+
+
+def test_io_action_disabled_without_env(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    assert chaos_io_action("anykey", "anylabel") is None
+
+
+def test_io_action_drop_and_stall(monkeypatch):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        '{"drop": ["serve:d"], "stall": ["serve:s"],'
+        ' "stall_seconds": 0.3, "once": false}',
+    )
+    assert chaos_io_action("r1", "serve:d") == ("drop", 0.0)
+    assert chaos_io_action("r2", "serve:s") == ("stall", 0.3)
+    assert chaos_io_action("r3", "serve:other") is None
+    # Key-prefix selection works for I/O faults too.
+    monkeypatch.setenv(CHAOS_ENV_VAR, '{"drop": ["r4"], "once": false}')
+    assert chaos_io_action("r4abc", "") == ("drop", 0.0)
+
+
+def test_io_action_drop_wins_over_stall(monkeypatch):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR, '{"drop": ["t"], "stall": ["t"], "once": false}'
+    )
+    assert chaos_io_action("k", "t") == ("drop", 0.0)
+
+
+def test_io_action_once_semantics(monkeypatch, tmp_path):
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        '{"drop": ["t"], "sentinel_dir": "%s"}' % tmp_path,
+    )
+    assert chaos_io_action("k", "t") == ("drop", 0.0)
+    assert chaos_io_action("k", "t") is None  # sentinel absorbed it
+    assert list(tmp_path.glob("chaos.drop.*"))

@@ -97,7 +97,7 @@ class TestResponses:
 
     def test_every_code_has_a_status(self):
         for code in ErrorCode:
-            assert code.status in (400, 403, 429, 500, 504)
+            assert code.status in (400, 403, 429, 500, 503, 504)
 
     def test_stream_limit_covers_the_line_bound(self):
         # Any line the protocol admits must fit the StreamReader limit,
