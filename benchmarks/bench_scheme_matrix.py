@@ -1,0 +1,142 @@
+"""Scheme × metric matrix over every registered ProtectionScheme.
+
+For each :mod:`repro.schemes` registry entry this runs four independent
+measurements on one shared workload family:
+
+* **normalized IPC** — serial golden-model simulation of the MLP plan
+  against the Baseline scheme (the same quantity the golden-IPC suite
+  pins per scheme);
+* **seal latency** — wall-clock microseconds per 128-byte line for a
+  batched ``seal_lines`` call on the vector crypto backend;
+* **fault-detection rate** — a seeded synthetic bus-tampering campaign
+  restricted to the scheme's own expressible fault classes;
+* **leakage ratio** — the plaintext fraction a bus snooper reads at the
+  paper's default 0.5 encryption ratio.
+
+Emits ``BENCH_scheme_matrix.json`` with one row per scheme plus the
+scheme's self-description, and asserts the matrix invariants: at least
+four schemes, authenticated schemes detect everything, full-coverage
+schemes leak nothing, and selective SEAL-SE buys back IPC over
+counter-gmac by trading leakage for it.
+"""
+
+import os
+import time
+
+from repro.core.plan import ModelEncryptionPlan
+from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+from repro.nn.layers import set_init_rng
+from repro.nn.models import build_model
+from repro.schemes import get_scheme, scheme_names
+from repro.sim.runner import run_layer
+
+RATIO = 0.5
+KEY = bytes(range(16))
+
+
+def normalized_ipc(traffics, scheme_name: str) -> float:
+    def ipc(results):
+        return sum(r.instructions for r in results) / sum(r.cycles for r in results)
+
+    baseline = [run_layer(t, "Baseline") for t in traffics]
+    results = [run_layer(t, scheme_name) for t in traffics]
+    return ipc(results) / ipc(baseline)
+
+
+def seal_latency_us_per_line(scheme_name: str, *, lines: int, rounds: int) -> float:
+    sealer = get_scheme(scheme_name).make_sealer(KEY, backend="vector")
+    line_bytes = 128
+    batch = [bytes([i % 251] + [0] * (line_bytes - 1)) for i in range(lines)]
+    addresses = [0x1000_0000 + i * line_bytes for i in range(lines)]
+    counters = [1 + i % 9 for i in range(lines)]
+    sealer.seal_lines(addresses, counters, batch)  # warm key schedules
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        sealer.seal_lines(addresses, counters, batch)
+        best = min(best, time.perf_counter() - start)
+    return best / lines * 1e6
+
+
+def detection_rate(scheme_name: str, *, faults_per_class: int) -> tuple[float, int]:
+    result = run_fault_campaign(
+        FaultCampaignConfig(
+            synthetic_lines=16,
+            faults_per_class=faults_per_class,
+            seed=0,
+            scheme=scheme_name,
+        )
+    )
+    assert result.false_positives == 0, scheme_name
+    return result.detection_rate("encrypted"), len(result.records)
+
+
+def test_scheme_matrix(record_report, record_metrics):
+    full = os.environ.get("SEAL_BENCH_SCALE") == "full"
+    set_init_rng(0)
+    plan = ModelEncryptionPlan.build(
+        build_model("mlp", width_scale=0.5 if full else 0.25),
+        RATIO,
+        input_shape=(3, 32, 32),
+    )
+    traffics = plan.layer_traffic()
+
+    matrix: dict[str, dict[str, object]] = {}
+    for name in scheme_names():
+        scheme = get_scheme(name)
+        detected, injected = detection_rate(
+            name, faults_per_class=8 if full else 3
+        )
+        matrix[name] = {
+            "normalized_ipc": normalized_ipc(traffics, name),
+            "seal_latency_us_per_line": seal_latency_us_per_line(
+                name, lines=256 if full else 64, rounds=5 if full else 3
+            ),
+            "fault_detection_rate": detected,
+            "faults_injected": injected,
+            "leakage_ratio": scheme.leakage_ratio(RATIO),
+            "scheme": scheme.describe(),
+        }
+
+    # -- matrix invariants ----------------------------------------------
+    assert len(matrix) >= 4
+    for name, row in matrix.items():
+        scheme = get_scheme(name)
+        assert 0.0 < row["normalized_ipc"] < 1.0
+        assert row["seal_latency_us_per_line"] > 0.0
+        if scheme.authenticated:
+            assert row["fault_detection_rate"] == 1.0, name
+        else:
+            assert row["fault_detection_rate"] == 0.0, name
+        if not scheme.selective:
+            assert row["leakage_ratio"] == 0.0, name
+    # SEAL's trade, in one row pair: selective coverage leaks plaintext
+    # but buys back IPC over the same crypto at full coverage.
+    assert matrix["seal-se"]["leakage_ratio"] > 0.0
+    assert (
+        matrix["seal-se"]["normalized_ipc"]
+        > matrix["counter-gmac"]["normalized_ipc"]
+    )
+    # The rival's slimmer metadata path must show up in the matrix.
+    assert (
+        matrix["seculator"]["normalized_ipc"]
+        > matrix["counter-gmac"]["normalized_ipc"]
+    )
+
+    header = (
+        f"{'scheme':<14} {'norm IPC':>9} {'us/line':>8} "
+        f"{'detect':>7} {'leakage':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in matrix.items():
+        lines.append(
+            f"{name:<14} {row['normalized_ipc']:>9.4f} "
+            f"{row['seal_latency_us_per_line']:>8.2f} "
+            f"{row['fault_detection_rate']:>7.2f} "
+            f"{row['leakage_ratio']:>8.2f}"
+        )
+    record_report("scheme_matrix", "\n".join(lines))
+    record_metrics(
+        "scheme_matrix",
+        payload={"ratio": RATIO, "schemes": list(matrix), "matrix": matrix},
+    )

@@ -59,7 +59,7 @@ from .eval.reporting import ascii_table
 from .nn.models import MODEL_BUILDERS, build_model
 from .obs.metrics import get_metrics, reset_metrics
 from .obs.trace import disable_tracing, enable_tracing, write_trace_document
-from .sim.runner import SCHEMES, compare_schemes
+from .sim.runner import SCHEMES, compare_schemes, known_schemes
 
 __all__ = ["main"]
 
@@ -86,11 +86,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     schemes = tuple(args.schemes.split(",")) if args.schemes else SCHEMES
-    unknown = [scheme for scheme in schemes if scheme not in SCHEMES]
+    unknown = [scheme for scheme in schemes if scheme not in known_schemes()]
     if unknown:
         print(
             f"unknown scheme(s) {', '.join(unknown)}; "
-            f"choose from {','.join(SCHEMES)}",
+            f"choose from {','.join(known_schemes())}",
             file=sys.stderr,
         )
         return 2
@@ -194,6 +194,19 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
     except ValueError:
         print(f"--ratios must be comma-separated floats: {args.ratios!r}", file=sys.stderr)
         return 2
+    # Non-selective schemes encrypt every line regardless of the requested
+    # ratio: the sweep grid collapses to the single effective exposure.
+    from .schemes import get_scheme
+
+    scheme = get_scheme(args.scheme)
+    effective = tuple(dict.fromkeys(scheme.effective_ratio(r) for r in ratios))
+    if effective != ratios:
+        print(
+            f"scheme {scheme.name} is not selective: ratios "
+            f"{args.ratios} collapse to "
+            f"{','.join(f'{r:g}' for r in effective)}"
+        )
+        ratios = effective
     variants = tuple(token.strip() for token in args.variants.split(",") if token.strip())
     bad = [variant for variant in variants if variant not in VARIANTS]
     if bad:
@@ -263,6 +276,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults_per_class=args.faults_per_class,
         max_lines_per_region=args.max_lines,
+        scheme=args.scheme,
         authenticate=not args.no_auth,
         backend=args.crypto_backend,
     )
@@ -299,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
+        scheme=args.scheme,
         backend=args.crypto_backend,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
@@ -403,7 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_args(p_sim)
     add_trace_args(p_sim)
     p_sim.add_argument(
-        "--schemes", help=f"comma-separated subset of {','.join(SCHEMES)}"
+        "--schemes",
+        help="comma-separated schemes: the paper's "
+        f"{','.join(SCHEMES)} and/or registered protection schemes "
+        "(docs/schemes.md)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -438,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants", default="init-only",
         help="SEAL fine-tuning variants: init-only, frozen, or both "
         "(see docs/threat-model.md)",
+    )
+    p_sweep.add_argument(
+        "--scheme", default="seal-se", metavar="NAME",
+        help="protection scheme on the bus (registered scheme name, "
+        "default seal-se); non-selective schemes collapse --ratios to 1.0",
     )
     p_sweep.add_argument("--width-scale", type=float, default=0.125)
     p_sweep.add_argument("--train-size", type=int, default=1200)
@@ -496,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap lines per heap region (pure-Python AES is slow)",
     )
     p_faults.add_argument(
+        "--scheme", default="seal-se", metavar="NAME",
+        help="protection scheme under attack (registered scheme name, "
+        "default seal-se; see docs/schemes.md)",
+    )
+    p_faults.add_argument(
         "--no-auth", action="store_true",
         help="drop per-line authentication (shows faults going silent)",
     )
@@ -550,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--port", type=int, default=0, metavar="N",
         help="TCP port (default 0 = pick a free port, shown in the banner)",
+    )
+    p_serve.add_argument(
+        "--scheme", default="seal-se", metavar="NAME",
+        help="protection scheme sealing payload lines (registered scheme "
+        "name, default seal-se; see docs/schemes.md)",
     )
     p_serve.add_argument(
         "--crypto-backend", choices=["scalar", "vector"], default=None,

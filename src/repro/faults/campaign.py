@@ -90,13 +90,28 @@ class FaultCampaignConfig:
     synthetic_lines: int | None = None
     max_lines_per_region: int = 24
     line_bytes: int = LINE_BYTES
-    tag_bytes: int = MAC_BYTES
+    #: Protection scheme under attack (a :mod:`repro.schemes` registry
+    #: name).  The scheme picks the cipher (counter vs direct), whether
+    #: tags exist at all, the default tag truncation, and which fault
+    #: classes are even expressible against its lines.
+    scheme: str = "seal-se"
+    #: Tag truncation override; ``None`` = the scheme's own tag size.
+    tag_bytes: int | None = None
+    #: ``False`` drops per-line MACs from an authenticated scheme (shows
+    #: faults going silent); irrelevant for schemes without integrity.
     authenticate: bool = True
     #: Crypto backend for the functional encrypt/MAC pipeline
     #: (``None`` = REPRO_CRYPTO_BACKEND / default).  Campaign results are
     #: backend-independent by contract — pinned by the golden-equivalence
     #: suite.
     backend: str | None = None
+
+    @property
+    def effective_authenticate(self) -> bool:
+        """Do protected lines actually carry verifiable tags?"""
+        from ..schemes import get_scheme
+
+        return self.authenticate and get_scheme(self.scheme).authenticated
 
 
 @dataclass(frozen=True)
@@ -160,7 +175,7 @@ class FaultCampaignResult:
             issues.append(
                 f"{self.false_positives} untampered line(s) failed verification"
             )
-        if not self.config.authenticate:
+        if not self.config.effective_authenticate:
             return issues
         undetected = [
             record
@@ -219,11 +234,11 @@ class FaultCampaignResult:
                         sum(record.silent for record in selected),
                     ]
                 )
-        auth = "on" if self.config.authenticate else "OFF"
+        auth = "on" if self.config.effective_authenticate else "OFF"
         lines = [
             f"fault injection on {self.model_name} @ ratio "
-            f"{self.config.ratio:.0%} (authentication {auth}, seed "
-            f"{self.config.seed})",
+            f"{self.config.ratio:.0%} (scheme {self.config.scheme}, "
+            f"authentication {auth}, seed {self.config.seed})",
             f"image: {self.encrypted_lines} encrypted + "
             f"{self.plaintext_lines} plaintext lines of "
             f"{self.config.line_bytes} B; clean sweep false positives: "
@@ -281,6 +296,13 @@ def run_fault_campaign(
 ) -> FaultCampaignResult:
     """Run one seeded campaign; see the module docstring for the protocol."""
     config = config or FaultCampaignConfig()
+    from ..schemes import get_scheme  # deferred: schemes pulls in sim config
+
+    scheme = get_scheme(config.scheme)
+    authenticate = config.authenticate and scheme.authenticated
+    tag_bytes = config.tag_bytes
+    if tag_bytes is None:
+        tag_bytes = scheme.tag_bytes or MAC_BYTES
     metrics = metrics if metrics is not None else get_metrics()
     rng = random.Random(config.seed)
     image = build_image(config)
@@ -298,16 +320,18 @@ def run_fault_campaign(
         {
             "model": image.model_name,
             "ratio": config.ratio,
-            "authenticate": config.authenticate,
+            "scheme": config.scheme,
+            "authenticate": authenticate,
             "encrypted_lines": len(encrypted),
             "plaintext_lines": len(plaintext),
         },
     ):
         bus = TamperingBus(
             image,
-            tag_bytes=config.tag_bytes,
-            authenticate=config.authenticate,
+            tag_bytes=tag_bytes,
+            authenticate=authenticate,
             backend=config.backend,
+            cipher="direct" if scheme.mode.value == "direct" else "counter",
         )
 
         baseline = bus.sweep()
@@ -346,8 +370,8 @@ def run_fault_campaign(
             else:  # pragma: no cover — FAULT_CLASSES is the source of truth
                 raise TamperError(f"unknown fault class {fault!r}")
 
-        for fault in FAULT_CLASSES:
-            if fault == "mac-truncation" and not config.authenticate:
+        for fault in scheme.fault_classes():
+            if fault == "mac-truncation" and not authenticate:
                 continue  # no tags exist to truncate
             targets = ["encrypted"]
             if fault in PLAINTEXT_FAULT_CLASSES:

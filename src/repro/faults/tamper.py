@@ -41,7 +41,7 @@ import numpy as np
 
 from ..crypto.fastpath import resolve_backend
 from ..crypto.mac import MAC_BYTES, LineAuthenticator
-from ..crypto.modes import CounterModeEncryptor
+from ..crypto.modes import CounterModeEncryptor, DirectEncryptor
 
 __all__ = [
     "LINE_BYTES",
@@ -236,10 +236,19 @@ class TamperingBus:
         tag_bytes: int = MAC_BYTES,
         authenticate: bool = True,
         backend: str | None = None,
+        cipher: str = "counter",
     ) -> None:
+        if cipher not in ("counter", "direct"):
+            raise TamperError(f"unknown cipher {cipher!r} (counter or direct)")
+        if cipher == "direct" and authenticate:
+            raise TamperError("direct encryption carries no tags to verify")
         self.image = image
         self.backend = resolve_backend(backend)
-        self._encryptor = CounterModeEncryptor(key, backend=self.backend)
+        self.cipher = cipher
+        if cipher == "counter":
+            self._encryptor = CounterModeEncryptor(key, backend=self.backend)
+        else:
+            self._encryptor = DirectEncryptor(key, backend=self.backend)
         self._auth = (
             LineAuthenticator(
                 mac_key or bytes(b ^ 0xA5 for b in key),
@@ -272,6 +281,16 @@ class TamperingBus:
         if not encrypted:
             return
         addresses = [line.address for line in encrypted]
+        if self.cipher == "direct":
+            # Direct encryption is stateless per address: no counters to
+            # seed, and the per-line path is the only one there is.
+            for line in encrypted:
+                stored = self._stored[line.address]
+                stored.data = self._encryptor.encrypt_line(
+                    line.address, line.plaintext
+                )
+                self._legit[line.address] = (stored.data, 0, None)
+            return
         counters = [1] * len(encrypted)
         ciphertexts = self._encryptor.encrypt_lines(
             addresses, counters, [line.plaintext for line in encrypted]
@@ -314,6 +333,11 @@ class TamperingBus:
             stored.data = plaintext
             self._legit[address] = (plaintext, 0, None)
             return
+        if self.cipher == "direct":
+            ciphertext = self._encryptor.encrypt_line(address, plaintext)
+            stored.data = ciphertext
+            self._legit[address] = (ciphertext, 0, None)
+            return
         counter = self._trusted[address] + 1
         self._trusted[address] = counter
         ciphertext = self._encryptor.encrypt_line(address, counter, plaintext)
@@ -341,6 +365,15 @@ class TamperingBus:
                 data=stored.data,
                 authenticated=None,
                 corrupted=stored.data != golden,
+            )
+        if self.cipher == "direct":
+            data = self._encryptor.decrypt_line(address, stored.data)
+            return ReadOutcome(
+                address=address,
+                encrypted=True,
+                data=data,
+                authenticated=None,
+                corrupted=data != golden,
             )
         trusted = self._trusted[address]
         data = self._encryptor.decrypt_line(address, trusted, stored.data)
@@ -396,8 +429,8 @@ class TamperingBus:
     def desync_counter(self, address: int, delta: int = 1) -> None:
         """Corrupt the DRAM counter-block copy for this line."""
         stored = self._line(address)
-        if not stored.encrypted:
-            raise TamperError(f"plaintext line 0x{address:x} has no counter")
+        if not stored.encrypted or self.cipher == "direct":
+            raise TamperError(f"line 0x{address:x} has no counter")
         stored.counter += delta
 
     def truncate_tag(self, address: int, keep_bytes: int = 4) -> None:

@@ -1,0 +1,29 @@
+"""Pluggable memory-protection schemes (docs/schemes.md).
+
+A :class:`ProtectionScheme` bundles what gets encrypted/authenticated per
+cache line, the cycle model's engine/metadata parameters, the batched
+line-sealing pipeline, and the fault-detection contract — so SEAL SE,
+the paper's Direct/Counter baselines and related-work rivals are
+swappable across the simulator, fault campaign, security sweep, serving
+layer and CLI through one registry.
+"""
+
+from .base import CtrGmacScheme, DirectScheme, DirectSealer, ProtectionScheme
+from .registry import available_schemes, get_scheme, register_scheme, scheme_names
+from . import builtin as _builtin  # noqa: F401  (registers the built-ins)
+from .builtin import COUNTER_GMAC, DIRECT, SEAL_SE, SECULATOR
+
+__all__ = [
+    "ProtectionScheme",
+    "CtrGmacScheme",
+    "DirectScheme",
+    "DirectSealer",
+    "register_scheme",
+    "get_scheme",
+    "scheme_names",
+    "available_schemes",
+    "SEAL_SE",
+    "DIRECT",
+    "COUNTER_GMAC",
+    "SECULATOR",
+]

@@ -1,0 +1,73 @@
+"""Built-in protection schemes: the repo's designs plus one rival.
+
+``seal-se``
+    The paper's SEAL secure engine with the `[24]`-style integrity
+    extension this repo has carried since the fault harness: *selective*
+    counter-mode encryption (criticality-tagged lines only) with an
+    8-byte GMAC per sealed line.  Functionally it *is* the pre-refactor
+    :class:`repro.core.seal.LineSealer` pipeline — the differential
+    conformance suite pins byte identity.
+
+``direct``
+    Full XEX-tweaked direct (in-place) encryption — the paper's Direct
+    baseline.  No counters, no tags: confidentiality only, every active
+    fault lands silently.
+
+``counter-gmac``
+    Full counter-mode encryption with 8-byte GMACs — the paper's Counter
+    baseline plus the same integrity extension as ``seal-se``, i.e. the
+    classic authenticated-memory design of Yan et al. applied to every
+    line.
+
+``seculator``
+    The rival, after Seculator (PAPERS.md: *"a fast and secure NPU"*
+    built around optimized counter/MAC handling).  Full counter-mode
+    coverage like ``counter-gmac``, but with the metadata path slimmed
+    the way that line of work does: one 64-byte counter block covers an
+    8 KB data span (64 × 7-bit minors + the major counter fill the block
+    exactly, halving counter-fetch traffic), tags truncated to 4 bytes
+    (halving MAC traffic), and a 1-cycle verify stage modelling the
+    overlapped MAC check.  The property suite holds it to the same
+    detection contract as the 8-byte-tag schemes.
+"""
+
+from __future__ import annotations
+
+from .base import CtrGmacScheme, DirectScheme
+from .registry import register_scheme
+
+__all__ = ["SEAL_SE", "DIRECT", "COUNTER_GMAC", "SECULATOR"]
+
+SEAL_SE = register_scheme(
+    CtrGmacScheme(
+        "seal-se",
+        "SEAL secure engine: selective AES-CTR + 8 B GMAC",
+        selective=True,
+    )
+)
+
+DIRECT = register_scheme(
+    DirectScheme(
+        "direct",
+        "Direct XEX encryption of every line (no integrity)",
+    )
+)
+
+COUNTER_GMAC = register_scheme(
+    CtrGmacScheme(
+        "counter-gmac",
+        "Full AES-CTR + 8 B GMAC on every line",
+        selective=False,
+    )
+)
+
+SECULATOR = register_scheme(
+    CtrGmacScheme(
+        "seculator",
+        "Seculator-style optimized counter/MAC: 8 KB counter span, 4 B tags",
+        selective=False,
+        tag_bytes=4,
+        mac_verify_cycles=1,
+        data_bytes_per_counter_block=8192,
+    )
+)

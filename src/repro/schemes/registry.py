@@ -1,0 +1,53 @@
+"""Scheme registry: name → :class:`~repro.schemes.base.ProtectionScheme`.
+
+Every consumer (sim runner, fault campaign, security sweep, serve layer,
+CLI, benchmarks) resolves schemes through this table, so registering one
+scheme makes it available everywhere at once.  Built-in schemes are
+registered on package import; out-of-tree schemes register the same way:
+
+>>> from repro.schemes import ProtectionScheme, register_scheme
+>>> class MyScheme(CtrGmacScheme):  # doctest: +SKIP
+...     pass
+>>> register_scheme(CtrGmacScheme("demo", "demo scheme", selective=False))
+>>> get_scheme("demo").authenticated
+True
+"""
+
+from __future__ import annotations
+
+from .base import ProtectionScheme
+
+__all__ = ["register_scheme", "get_scheme", "scheme_names", "available_schemes"]
+
+_REGISTRY: dict[str, ProtectionScheme] = {}
+
+
+def register_scheme(scheme: ProtectionScheme, *, replace: bool = False) -> ProtectionScheme:
+    """Add ``scheme`` to the registry (``replace=True`` to overwrite)."""
+    if not scheme.name:
+        raise ValueError("scheme needs a non-empty name")
+    if scheme.name in _REGISTRY and not replace:
+        raise ValueError(f"scheme {scheme.name!r} is already registered")
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def get_scheme(name: str) -> ProtectionScheme:
+    """Resolve a registered scheme by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protection scheme {name!r}; "
+            f"registered: {', '.join(scheme_names())}"
+        ) from None
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_schemes() -> tuple[ProtectionScheme, ...]:
+    """Registered scheme instances, in registration order."""
+    return tuple(_REGISTRY.values())

@@ -49,8 +49,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.plan import ModelEncryptionPlan
-from ..core.seal import LINE_BYTES, LineSealer
-from ..crypto.mac import MAC_BYTES
+from ..core.seal import LINE_BYTES
+from ..schemes import get_scheme
 from ..faults.chaos import chaos_io_action, chaos_probe
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
 from ..obs.trace import get_tracer, worker_tracer
@@ -106,7 +106,10 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = pick a free port (printed in the banner)
     key: bytes = DEFAULT_KEY
-    tag_bytes: int = MAC_BYTES
+    #: Protection scheme sealing the lines (a :mod:`repro.schemes`
+    #: registry name); picks the cipher pipeline and default tag size.
+    scheme: str = "seal-se"
+    tag_bytes: int | None = None  # None = the scheme's default truncation
     line_bytes: int = LINE_BYTES
     backend: str | None = None  # crypto backend (None = env/default)
     max_batch: int = 64  # requests per micro-batch
@@ -121,21 +124,44 @@ class ServeConfig:
     drain_timeout: float = 5.0  # graceful-drain budget for in-flight work
     degraded_threshold: int = 3  # consecutive pool crashes before degrading
     degraded_recovery: float = 30.0  # seconds between pool recovery probes
+    pad_reuse_tracked: int = PAD_REUSE_TRACKED  # LRU bound on tracked pairs
+
+    def resolved_tag_bytes(self) -> int:
+        """Stored tag bytes per line: explicit override or scheme default."""
+        if self.tag_bytes is not None:
+            return self.tag_bytes
+        return get_scheme(self.scheme).tag_bytes
+
+    def make_sealer(self):
+        """The scheme's batched line sealer for this configuration."""
+        return get_scheme(self.scheme).make_sealer(
+            self.key,
+            line_bytes=self.line_bytes,
+            backend=self.backend,
+            tag_bytes=self.tag_bytes,
+        )
 
 
 # ----------------------------------------------------------------------
 # Worker-pool entry point (module level so it pickles under spawn)
 # ----------------------------------------------------------------------
-_WORKER_SEALERS: dict[tuple, LineSealer] = {}
+_WORKER_SEALERS: dict[tuple, object] = {}
 
 
-def _worker_sealer(spec: dict) -> LineSealer:
-    signature = (spec["key"], spec["tag_bytes"], spec["line_bytes"], spec["backend"])
+def _worker_sealer(spec: dict):
+    signature = (
+        spec.get("scheme", "seal-se"),
+        spec["key"],
+        spec["tag_bytes"],
+        spec["line_bytes"],
+        spec["backend"],
+    )
     sealer = _WORKER_SEALERS.get(signature)
     if sealer is None:
-        sealer = _WORKER_SEALERS[signature] = LineSealer(
+        scheme = get_scheme(spec.get("scheme", "seal-se"))
+        sealer = _WORKER_SEALERS[signature] = scheme.make_sealer(
             spec["key"],
-            tag_bytes=spec["tag_bytes"],
+            tag_bytes=spec["tag_bytes"] or None,
             line_bytes=spec["line_bytes"],
             backend=spec["backend"],
         )
@@ -292,7 +318,7 @@ class ModelServer:
             )
             for op in BATCHED_OPS
         }
-        self._sealer: LineSealer | None = None  # lazy (inline path)
+        self._sealer = None  # lazy (inline path; type per scheme)
         self._pool: ProcessPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -412,14 +438,9 @@ class ModelServer:
         self._teardown_pool(restart=False)
 
     # -- execution backends ---------------------------------------------
-    def _inline_sealer(self) -> LineSealer:
+    def _inline_sealer(self):
         if self._sealer is None:
-            self._sealer = LineSealer(
-                self.config.key,
-                tag_bytes=self.config.tag_bytes,
-                line_bytes=self.config.line_bytes,
-                backend=self.config.backend,
-            )
+            self._sealer = self.config.make_sealer()
         return self._sealer
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -442,7 +463,8 @@ class ModelServer:
         spec: dict = {
             "op": op,
             "key": self.config.key,
-            "tag_bytes": self.config.tag_bytes,
+            "scheme": self.config.scheme,
+            "tag_bytes": self.config.resolved_tag_bytes(),
             "line_bytes": self.config.line_bytes,
             "backend": self.config.backend,
             "requests": len(items),
@@ -759,7 +781,7 @@ class ModelServer:
             )
             return
         self._sealed_pairs[pair] = digest
-        if len(self._sealed_pairs) > PAD_REUSE_TRACKED:
+        if len(self._sealed_pairs) > self.config.pad_reuse_tracked:
             self._sealed_pairs.popitem(last=False)
 
     # -- shutdown gating -------------------------------------------------

@@ -24,6 +24,7 @@ from .workloads import DEFAULT_TILE, layer_streams
 
 __all__ = [
     "SCHEMES",
+    "known_schemes",
     "traffic_for_scheme",
     "scheme_config",
     "fully_encrypted",
@@ -39,8 +40,29 @@ __all__ = [
 SCHEMES = ("Baseline", "Direct", "Counter", "SEAL-D", "SEAL-C")
 
 
+def _registry_scheme(name: str):
+    """Registered :class:`~repro.schemes.base.ProtectionScheme` or None.
+
+    Deferred import: :mod:`repro.schemes` builds on this module's config
+    types, so the registry is only touched for non-paper scheme names.
+    """
+    from ..schemes import get_scheme, scheme_names
+
+    if name not in scheme_names():
+        return None
+    return get_scheme(name)
+
+
+def known_schemes() -> tuple[str, ...]:
+    """Every runnable scheme label: the paper's five plus the registry."""
+    from ..schemes import scheme_names
+
+    return SCHEMES + tuple(scheme_names())
+
+
 def scheme_config(name: str, *, counter_cache_kb: int = 96) -> GpuConfig:
-    """GTX480 configuration for one of the paper's five schemes."""
+    """GTX480 configuration for a paper scheme or a registered
+    :class:`~repro.schemes.base.ProtectionScheme` name."""
     table = {
         "Baseline": (EncryptionMode.NONE, False),
         "Direct": (EncryptionMode.DIRECT, False),
@@ -48,11 +70,17 @@ def scheme_config(name: str, *, counter_cache_kb: int = 96) -> GpuConfig:
         "SEAL-D": (EncryptionMode.DIRECT, True),
         "SEAL-C": (EncryptionMode.COUNTER, True),
     }
-    try:
+    if name in table:
         mode, selective = table[name]
-    except KeyError:
-        raise ValueError(f"unknown scheme {name!r}; choose from {SCHEMES}") from None
-    return gtx480_config(mode, selective=selective, counter_cache_kb=counter_cache_kb)
+        return gtx480_config(
+            mode, selective=selective, counter_cache_kb=counter_cache_kb
+        )
+    scheme = _registry_scheme(name)
+    if scheme is None:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {known_schemes()}"
+        )
+    return scheme.gpu_config(counter_cache_kb=counter_cache_kb)
 
 
 def fully_encrypted(traffic: LayerTraffic) -> LayerTraffic:
@@ -93,12 +121,17 @@ def plaintext_traffic(traffic: LayerTraffic) -> LayerTraffic:
 
 def traffic_for_scheme(traffic: LayerTraffic, scheme: str) -> LayerTraffic:
     """Tag a layer's traffic for one scheme: Baseline strips criticality,
-    Direct/Counter mark everything critical, SEAL keeps the plan's split."""
+    full-coverage schemes mark everything critical, selective schemes
+    (SEAL and selective registry schemes) keep the plan's split."""
     if scheme in ("Direct", "Counter"):
         return fully_encrypted(traffic)
     if scheme == "Baseline":
         return plaintext_traffic(traffic)
-    return traffic  # SEAL keeps the plan's split
+    if scheme not in ("SEAL-D", "SEAL-C"):
+        registered = _registry_scheme(scheme)
+        if registered is not None and not registered.selective:
+            return fully_encrypted(traffic)
+    return traffic  # selective schemes keep the plan's split
 
 
 def run_layer(

@@ -1,0 +1,17 @@
+"""Repo-wide fixtures shared across test packages."""
+
+import pytest
+
+from repro.schemes import get_scheme, scheme_names
+
+
+@pytest.fixture(params=scheme_names())
+def scheme_name(request) -> str:
+    """Every registered protection scheme name, one test per scheme."""
+    return request.param
+
+
+@pytest.fixture
+def scheme(scheme_name):
+    """The registered :class:`ProtectionScheme` instance under test."""
+    return get_scheme(scheme_name)

@@ -1,4 +1,12 @@
-"""Fault campaign: reproducibility, the integrity contract, and metrics."""
+"""Fault campaign: reproducibility, the integrity contract, and metrics.
+
+The contract tests run once per registered protection scheme (the
+``scheme_name``/``scheme`` fixtures from ``tests/conftest.py``): every
+scheme promises detection exactly on the fault classes it authenticates
+— 100 % on authenticated encrypted lines, all-silent for unauthenticated
+schemes — with zero false positives and a measurable plaintext gap where
+the scheme leaves lines in the clear.
+"""
 
 import pytest
 
@@ -18,27 +26,38 @@ def quick(**overrides) -> FaultCampaignConfig:
     return FaultCampaignConfig(**defaults)
 
 
-def test_campaign_is_seed_reproducible():
-    first = run_fault_campaign(quick(), metrics=MetricsRegistry())
-    second = run_fault_campaign(quick(), metrics=MetricsRegistry())
+def test_campaign_is_seed_reproducible(scheme_name):
+    first = run_fault_campaign(quick(scheme=scheme_name), metrics=MetricsRegistry())
+    second = run_fault_campaign(quick(scheme=scheme_name), metrics=MetricsRegistry())
     assert first.records == second.records
     assert first.to_dict() == second.to_dict()
 
 
-def test_campaign_meets_the_integrity_contract():
-    result = run_fault_campaign(quick(), metrics=MetricsRegistry())
+def test_campaign_meets_the_scheme_contract(scheme_name, scheme):
+    result = run_fault_campaign(quick(scheme=scheme_name), metrics=MetricsRegistry())
     assert result.problems() == []
     assert result.false_positives == 0
-    assert result.detection_rate("encrypted") == 1.0
+    if scheme.authenticated:
+        assert result.detection_rate("encrypted") == 1.0
+    else:
+        assert result.detection_rate("encrypted") == 0.0
+        assert result.silent_rate("encrypted") > 0.0
     assert result.silent_rate("plaintext") > 0.0
-    # every class injected on encrypted lines, only the applicable subset
-    # on plaintext lines
+    # every class the scheme can express lands on encrypted lines; the
+    # plaintext side only ever sees the counter/tag-free subset
     assert {r.fault for r in result.records if r.target == "encrypted"} == set(
-        FAULT_CLASSES
+        scheme.fault_classes()
     )
     assert {r.fault for r in result.records if r.target == "plaintext"} == set(
         PLAINTEXT_FAULT_CLASSES
-    )
+    ) & set(scheme.fault_classes())
+
+
+def test_detection_matches_the_scheme_detects_claim(scheme_name, scheme):
+    result = run_fault_campaign(quick(scheme=scheme_name), metrics=MetricsRegistry())
+    for fault in scheme.fault_classes():
+        rate = result.detection_rate("encrypted", fault)
+        assert rate == (1.0 if scheme.detects(fault) else 0.0), fault
 
 
 def test_campaign_counts_into_metrics():
@@ -65,6 +84,15 @@ def test_without_authentication_the_gap_swallows_everything():
     assert result.problems() == []
 
 
+def test_default_scheme_still_covers_the_full_zoo():
+    """The seal-se default is the pre-refactor campaign, class for class."""
+    result = run_fault_campaign(quick(), metrics=MetricsRegistry())
+    assert result.config.scheme == "seal-se"
+    assert {r.fault for r in result.records if r.target == "encrypted"} == set(
+        FAULT_CLASSES
+    )
+
+
 def test_report_names_the_gap():
     result = run_fault_campaign(quick(), metrics=MetricsRegistry())
     report = result.report()
@@ -81,7 +109,7 @@ def test_campaign_needs_lines_of_both_kinds():
         )
 
 
-def test_plan_derived_campaign_holds_the_contract():
+def test_plan_derived_campaign_holds_the_contract(scheme_name):
     result = run_fault_campaign(
         FaultCampaignConfig(
             model="mlp",
@@ -89,6 +117,7 @@ def test_plan_derived_campaign_holds_the_contract():
             faults_per_class=2,
             max_lines_per_region=4,
             seed=0,
+            scheme=scheme_name,
         ),
         metrics=MetricsRegistry(),
     )

@@ -1,0 +1,29 @@
+"""Fixtures for the cross-scheme differential/property suites."""
+
+import os
+
+import pytest
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(params=["scalar", "vector"])
+def crypto_backend(request) -> str:
+    """Both functional crypto backends — schemes must be byte-identical
+    across them (the fastpath differential contract)."""
+    return request.param
+
+
+@pytest.fixture(params=["scalar", "vector"], scope="module")
+def sim_backend(request):
+    """Both simulator engines, selected the way the runner resolves them
+    (the environment variable reaches pool workers too)."""
+    from repro.sim.engine import ENV_VAR
+
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = request.param
+    yield request.param
+    if previous is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = previous

@@ -1,0 +1,174 @@
+"""Hypothesis property suite: the ProtectionScheme interface contract.
+
+One shared parametrized base runs every registered scheme through the
+three contract properties:
+
+* **seal ∘ unseal is the identity** on arbitrary payloads, addresses and
+  counters;
+* **tamper detection on every authenticated line** — flipping any
+  ciphertext byte of any line must raise
+  :class:`~repro.core.seal.SealIntegrityError` naming that line on an
+  authenticated scheme, and must corrupt silently (never raise) on an
+  unauthenticated one;
+* **metadata-traffic accounting** — the scheme's declared
+  counter/MAC bytes per line match both the functional sealer's tag
+  sizes and the simulator memory controller's metadata counters.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seal import SealIntegrityError
+from repro.schemes import get_scheme, scheme_names
+from repro.sim.config import EncryptionMode
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import Access, MemRequest
+
+from .conftest import KEY
+
+#: One sealer per (scheme, backend): schemes are stateless value objects,
+#: so examples can share instances (and key-schedule setup cost).
+_SEALERS: dict = {}
+
+
+def sealer_for(scheme_name: str, backend: str = "vector"):
+    key = (scheme_name, backend)
+    if key not in _SEALERS:
+        _SEALERS[key] = get_scheme(scheme_name).make_sealer(KEY, backend=backend)
+    return _SEALERS[key]
+
+
+payloads = st.binary(min_size=16, max_size=520)
+addresses = st.integers(min_value=0, max_value=2**40).map(lambda a: a * 128)
+counters = st.integers(min_value=1, max_value=2**32 - 1)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    @given(payload=payloads, base_address=addresses, counter=counters)
+    @settings(max_examples=25, deadline=None)
+    def test_seal_unseal_identity(self, scheme_name, payload, base_address, counter):
+        sealer = sealer_for(scheme_name)
+        sealed = sealer.seal(payload, base_address=base_address, counter=counter)
+        assert sealer.unseal(sealed) == payload
+        assert all(sealer.verify(sealed))
+        assert all(len(tag) == sealer.tag_bytes for tag in sealed.tags)
+
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    @given(payload=payloads)
+    @settings(max_examples=10, deadline=None)
+    def test_backends_agree_example_wise(self, scheme_name, payload):
+        assert sealer_for(scheme_name, "scalar").seal(payload) == sealer_for(
+            scheme_name, "vector"
+        ).seal(payload)
+
+
+class TestTamperDetection:
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    @given(payload=payloads, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_any_flipped_byte_is_caught_or_silent(self, scheme_name, payload, data):
+        """Authenticated schemes name the tampered line; unauthenticated
+        schemes deliver corrupted bytes without a peep."""
+        scheme = get_scheme(scheme_name)
+        sealer = sealer_for(scheme_name)
+        sealed = sealer.seal(payload, base_address=0x4000, counter=2)
+        if scheme.authenticated:
+            # any byte of any line, padding included — the MAC covers it
+            position = data.draw(
+                st.integers(0, len(sealed.ciphertext) - 1), label="byte"
+            )
+        else:
+            # an unauthenticated flip is only *observable* where the
+            # scrambled cipher block overlaps real payload bytes
+            position = data.draw(
+                st.integers(0, len(payload) - 16), label="byte"
+            )
+        flip = data.draw(st.integers(1, 255), label="xor")
+        corrupted = bytearray(sealed.ciphertext)
+        corrupted[position] ^= flip
+        tampered = dataclasses.replace(sealed, ciphertext=bytes(corrupted))
+
+        if scheme.authenticated:
+            verdicts = sealer.verify(tampered)
+            assert verdicts[position // sealed.line_bytes] is False
+            with pytest.raises(SealIntegrityError) as error:
+                sealer.unseal(tampered)
+            assert position // sealed.line_bytes in error.value.lines
+        else:
+            delivered = sealer.unseal(tampered)
+            assert delivered != payload  # corrupted...
+            assert all(sealer.verify(tampered))  # ...and nobody noticed
+
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    @given(payload=payloads, counter=counters)
+    @settings(max_examples=10, deadline=None)
+    def test_counter_mismatch_is_caught_on_authenticated_schemes(
+        self, scheme_name, payload, counter
+    ):
+        scheme = get_scheme(scheme_name)
+        sealer = sealer_for(scheme_name)
+        sealed = sealer.seal(payload, base_address=0, counter=counter)
+        stale = dataclasses.replace(sealed, counter=counter % (2**32 - 1) + 1)
+        if scheme.authenticated:
+            with pytest.raises(SealIntegrityError):
+                sealer.unseal(stale)
+        else:
+            # direct encryption ignores counters entirely
+            assert sealer.unseal(stale) == payload
+
+
+class TestMetadataAccounting:
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    def test_functional_tags_match_declared_mac_bytes(self, scheme_name):
+        scheme = get_scheme(scheme_name)
+        sealer = sealer_for(scheme_name)
+        declared = scheme.metadata_bytes_per_line()
+        assert sealer.tag_bytes == declared["mac"]
+        sealed = sealer.seal(b"x" * 400)
+        assert all(len(tag) == declared["mac"] for tag in sealed.tags)
+
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    @given(n_lines=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=10, deadline=None)
+    def test_simulated_metadata_traffic_matches_declaration(
+        self, scheme_name, n_lines
+    ):
+        """The memory controller charges exactly the scheme's declared
+        MAC bytes per encrypted line, and counter fetches only for
+        counter-mode schemes — in whole counter blocks."""
+        scheme = get_scheme(scheme_name)
+        config = scheme.gpu_config()
+        mc = MemoryController(0, config)
+        line_bytes = config.line_bytes
+        for index in range(n_lines):
+            mc.submit(
+                MemRequest(
+                    address=index * line_bytes,
+                    size=line_bytes,
+                    access=Access.READ,
+                    encrypted=True,
+                ),
+                arrival=float(index),
+            )
+        declared = scheme.metadata_bytes_per_line(line_bytes)
+        expected_mac = n_lines * declared["mac"] if scheme.authenticated else 0
+        assert mc.stats.mac_bytes == expected_mac
+        if scheme.mode is EncryptionMode.COUNTER:
+            covered = scheme.data_bytes_per_counter_block
+            # cold cache: one 64-byte block fetch per covered span touched
+            spans = (n_lines * line_bytes + covered - 1) // covered
+            assert mc.stats.counter_fetch_bytes == spans * 64
+            # amortised over a full span, that is the declared per-line cost
+            assert declared["counter"] * (covered // line_bytes) == 64
+        else:
+            assert mc.stats.counter_fetch_bytes == 0
+        assert mc.stats.total_bytes == (
+            mc.stats.data_bytes
+            + mc.stats.counter_fetch_bytes
+            + mc.stats.mac_bytes
+        )
+        assert mc.stats.encrypted_bytes == n_lines * line_bytes

@@ -1,0 +1,139 @@
+"""Registry semantics and scheme-constructor validation."""
+
+import pytest
+
+from repro.schemes import (
+    CtrGmacScheme,
+    DirectScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
+from repro.schemes.registry import _REGISTRY
+
+from .conftest import KEY
+
+BUILTINS = ("seal-se", "direct", "counter-gmac", "seculator")
+
+
+@pytest.fixture
+def scratch_registry():
+    """Snapshot/restore the registry around registration tests."""
+    snapshot = dict(_REGISTRY)
+    yield
+    _REGISTRY.clear()
+    _REGISTRY.update(snapshot)
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        assert scheme_names()[: len(BUILTINS)] == BUILTINS
+        assert tuple(s.name for s in available_schemes()) == scheme_names()
+
+    def test_get_scheme_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="seal-se"):
+            get_scheme("rot13")
+
+    def test_register_rejects_duplicates_unless_replace(self, scratch_registry):
+        rival = CtrGmacScheme("dup", "dup", selective=False)
+        assert register_scheme(rival) is rival
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(CtrGmacScheme("dup", "dup", selective=False))
+        replacement = CtrGmacScheme("dup", "dup v2", selective=True)
+        assert register_scheme(replacement, replace=True) is replacement
+        assert get_scheme("dup").title == "dup v2"
+
+    def test_register_rejects_empty_name(self, scratch_registry):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_scheme(CtrGmacScheme("", "anon", selective=False))
+
+    def test_out_of_tree_scheme_is_everywhere_at_once(self, scratch_registry):
+        """The registration promise: one register_scheme call reaches the
+        sim runner's name resolution and the sealer factory."""
+        from repro.sim.runner import known_schemes
+
+        register_scheme(
+            CtrGmacScheme(
+                "tessera",
+                "Tessera-style",
+                selective=False,
+                tag_bytes=4,
+                data_bytes_per_counter_block=8192,
+            )
+        )
+        assert "tessera" in known_schemes()
+        sealer = get_scheme("tessera").make_sealer(KEY)
+        assert sealer.tag_bytes == 4
+
+
+class TestConstructorValidation:
+    def test_authenticated_schemes_need_plausible_tags(self):
+        for bad in (0, 3, 17):
+            with pytest.raises(ValueError, match="tag bytes"):
+                CtrGmacScheme("bad", "bad", selective=False, tag_bytes=bad)
+
+    def test_unauthenticated_direct_sealer_rejects_tag_override(self):
+        direct = get_scheme("direct")
+        with pytest.raises(ValueError, match="unauthenticated"):
+            direct.make_sealer(KEY, tag_bytes=8)
+        # a zero override is a no-op, not an error
+        assert direct.make_sealer(KEY, tag_bytes=0).tag_bytes == 0
+
+    def test_direct_sealer_rejects_bad_line_granularity(self):
+        from repro.schemes.base import DirectSealer
+
+        for bad in (0, 20):
+            with pytest.raises(ValueError, match="multiple of 16"):
+                DirectSealer(KEY, line_bytes=bad)
+
+    def test_direct_sealer_rejects_empty_payload(self):
+        with pytest.raises(ValueError, match="empty"):
+            get_scheme("direct").make_sealer(KEY).seal(b"")
+
+
+class TestSemanticsHooks:
+    def test_effective_ratio_bounds_and_coverage(self):
+        seal_se, counter_gmac = get_scheme("seal-se"), get_scheme("counter-gmac")
+        assert seal_se.effective_ratio(0.3) == 0.3
+        assert counter_gmac.effective_ratio(0.3) == 1.0
+        for scheme in (seal_se, counter_gmac):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                scheme.effective_ratio(1.5)
+
+    def test_leakage_complements_effective_ratio(self, scheme):
+        requested = 0.25
+        assert scheme.leakage_ratio(requested) == pytest.approx(
+            1.0 - scheme.effective_ratio(requested)
+        )
+
+    def test_detects_requires_authentication_and_expressibility(self):
+        assert get_scheme("seal-se").detects("replay")
+        assert not get_scheme("direct").detects("bit-flip")  # silent
+        assert not get_scheme("seal-se").detects("rowhammer")  # not modelled
+
+    def test_describe_is_json_able_and_complete(self, scheme):
+        import json
+
+        row = json.loads(json.dumps(scheme.describe()))
+        assert row["name"] == scheme.name
+        assert row["fault_classes"] == list(scheme.fault_classes())
+        assert row["metadata_bytes_per_line"]["mac"] == scheme.tag_bytes
+
+    def test_direct_scheme_declares_no_metadata(self):
+        assert get_scheme("direct").metadata_bytes_per_line() == {
+            "counter": 0.0,
+            "mac": 0.0,
+        }
+
+    def test_counter_cache_geometry_honours_scheme_span(self):
+        seculator = get_scheme("seculator")
+        geometry = seculator.counter_cache_config()
+        assert geometry.data_bytes_per_counter_block == 8192
+        sized = seculator.counter_cache_config(size_bytes=4096)
+        assert sized.size_bytes == 4096
+
+    def test_direct_scheme_subclass_hook(self, scratch_registry):
+        scheme = DirectScheme("direct-se", "selective direct", selective=True)
+        assert scheme.selective and not scheme.authenticated
+        assert scheme.effective_ratio(0.5) == 0.5

@@ -1,0 +1,97 @@
+"""Regression suite for the digest-aware CTR pad-reuse tracker.
+
+The server remembers recent ``(base_address, counter)`` seal pairs with a
+payload digest: a byte-identical repeat is a benign client retry
+(``serve.seal.replays``), a different-bytes repeat is the
+XOR-of-plaintexts leak (``serve.seal.pad_reuse``), and the LRU bound
+evicts the *least recently seen* pair deterministically.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.serve.server import ModelServer, PAD_REUSE_TRACKED, ServeConfig
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def make_server(**config) -> ModelServer:
+    # ModelServer construction needs an event loop for its asyncio
+    # primitives but no running server for the tracker under test.
+    return asyncio.new_event_loop().run_until_complete(
+        _construct(ServeConfig(**config))
+    )
+
+
+async def _construct(config: ServeConfig) -> ModelServer:
+    return ModelServer(config)
+
+
+LINES_A = [bytes([1]) * 128, bytes([2]) * 128]
+LINES_B = [bytes([3]) * 128, bytes([4]) * 128]
+
+
+def test_default_bound_is_the_module_constant():
+    assert ServeConfig().pad_reuse_tracked == PAD_REUSE_TRACKED
+
+
+def test_same_bytes_repeat_counts_replay_not_pad_reuse(registry):
+    server = make_server()
+    server._note_seal_pair(0x1000, 7, LINES_A)
+    server._note_seal_pair(0x1000, 7, LINES_A)
+    server._note_seal_pair(0x1000, 7, LINES_A)
+    assert registry.counter("serve.seal.replays") == 2
+    assert registry.counter("serve.seal.pad_reuse") == 0
+
+
+def test_different_bytes_repeat_counts_pad_reuse(registry):
+    server = make_server()
+    server._note_seal_pair(0x1000, 7, LINES_A)
+    server._note_seal_pair(0x1000, 7, LINES_B)
+    assert registry.counter("serve.seal.replays") == 0
+    assert registry.counter("serve.seal.pad_reuse") == 1
+
+
+def test_distinct_pairs_count_nothing(registry):
+    server = make_server()
+    server._note_seal_pair(0x1000, 7, LINES_A)
+    server._note_seal_pair(0x1000, 8, LINES_A)  # new counter
+    server._note_seal_pair(0x2000, 7, LINES_A)  # new base address
+    assert registry.counter("serve.seal.replays") == 0
+    assert registry.counter("serve.seal.pad_reuse") == 0
+
+
+def test_lru_bound_evicts_the_oldest_pair_deterministically(registry):
+    server = make_server(pad_reuse_tracked=4)
+    for index in range(5):  # fifth insert evicts pair 0
+        server._note_seal_pair(0x1000 * index, 1, LINES_A)
+    assert len(server._sealed_pairs) == 4
+    assert (0x0000, 1) not in server._sealed_pairs
+    assert (0x1000, 1) in server._sealed_pairs
+    # pair 0 was evicted: re-noting it is a *fresh* pair, no reuse
+    # signal — and its insert pushes out pair 1, the next-oldest
+    server._note_seal_pair(0x0000, 1, LINES_B)
+    assert registry.counter("serve.seal.pad_reuse") == 0
+    assert (0x1000, 1) not in server._sealed_pairs
+    # pair 2 is still tracked: a different-bytes repeat is flagged
+    server._note_seal_pair(0x2000, 1, LINES_B)
+    assert registry.counter("serve.seal.pad_reuse") == 1
+
+
+def test_reuse_hit_refreshes_recency(registry):
+    server = make_server(pad_reuse_tracked=2)
+    server._note_seal_pair(0x1000, 1, LINES_A)  # oldest
+    server._note_seal_pair(0x2000, 1, LINES_A)
+    server._note_seal_pair(0x1000, 1, LINES_A)  # replay refreshes 0x1000
+    server._note_seal_pair(0x3000, 1, LINES_A)  # evicts 0x2000, not 0x1000
+    assert list(server._sealed_pairs) == [(0x1000, 1), (0x3000, 1)]
+    server._note_seal_pair(0x1000, 1, LINES_B)
+    assert registry.counter("serve.seal.pad_reuse") == 1

@@ -33,6 +33,18 @@ GOLDEN_NORMALIZED_IPC = {
     "SEAL-C": 0.748941268,
 }
 
+#: Same pins for the registered :mod:`repro.schemes` instances on the
+#: same workload.  ``direct`` maps onto the exact config of the paper's
+#: Direct scheme, so its value matches above; the authenticated schemes
+#: pay their MAC/counter metadata traffic (seculator's slimmer metadata
+#: path lands it above counter-gmac).
+REGISTRY_GOLDEN_NORMALIZED_IPC = {
+    "seal-se": 0.725189934,
+    "direct": 0.546478563,
+    "counter-gmac": 0.535086582,
+    "seculator": 0.536865022,
+}
+
 
 def assert_results_identical(a, b):
     """Field-for-field SimResult equality, treating NaN == NaN."""
@@ -120,6 +132,55 @@ class TestGoldenNormalizedIpc:
             normalized[scheme] = ipc / baseline_ipc
         assert normalized["Direct"] < normalized["SEAL-D"] <= 1.0
         assert normalized["Counter"] < normalized["SEAL-C"] <= 1.0
+
+
+_REGISTRY_SERIAL: dict = {}
+
+
+def registry_serial_results(plan, sim_backend, scheme_name):
+    """Serial reference runs per (sim backend, registered scheme),
+    memoised so the pinning and identity tests share one computation."""
+    key = (sim_backend, scheme_name)
+    if key not in _REGISTRY_SERIAL:
+        _REGISTRY_SERIAL[key] = [
+            run_layer(traffic, scheme_name) for traffic in plan.layer_traffic()
+        ]
+    return _REGISTRY_SERIAL[key]
+
+
+class TestRegistrySchemeGoldens:
+    """Golden IPC + parallel identity for every registered
+    ProtectionScheme (the ``scheme_name`` fixture in tests/conftest.py)
+    — the sim half of the scheme-parametrized regression matrix."""
+
+    def test_normalized_ipc_pinned(self, plan, sim_backend, serial_results, scheme_name):
+        baseline = serial_results["Baseline"]
+        baseline_ipc = sum(r.instructions for r in baseline) / sum(
+            r.cycles for r in baseline
+        )
+        results = registry_serial_results(plan, sim_backend, scheme_name)
+        ipc = sum(r.instructions for r in results) / sum(
+            r.cycles for r in results
+        )
+        assert ipc / baseline_ipc == pytest.approx(
+            REGISTRY_GOLDEN_NORMALIZED_IPC[scheme_name], rel=1e-6
+        ), scheme_name
+
+    def test_parallel_cached_identical(self, plan, sim_backend, scheme_name):
+        serial = registry_serial_results(plan, sim_backend, scheme_name)
+        parallel = compare_schemes(
+            plan, (scheme_name,), jobs=2, cache=SimulationCache()
+        )
+        assert len(parallel[scheme_name].layer_results) == len(serial)
+        for a, b in zip(serial, parallel[scheme_name].layer_results):
+            assert_results_identical(a, b)
+
+    def test_rival_scheme_beats_counter_gmac(self):
+        """The Seculator-style metadata path must actually pay off."""
+        assert (
+            REGISTRY_GOLDEN_NORMALIZED_IPC["seculator"]
+            > REGISTRY_GOLDEN_NORMALIZED_IPC["counter-gmac"]
+        )
 
 
 class TestParallelMatchesSerial:
